@@ -1,0 +1,65 @@
+"""CLK — the clock-interrupt measurements.
+
+Paper: "the regular clock tick interrupt took on average 94 microseconds
+to execute ... The interrupt code overhead to [emulate software
+interrupts] is around 24 microseconds per interrupt."
+
+The run profiles an otherwise-idle system so the only activity is the
+100 Hz tick train; the ISAINTR inclusive average is the full tick cost,
+and the AST-emulation share is read straight from the cost model the
+dispatch path charges.
+"""
+
+from __future__ import annotations
+
+from paperbench import once, pct, us
+
+from repro.analysis.summary import summarize
+from repro.kernel.sched import tsleep
+from repro.kernel.syscalls import syscall
+from repro.system import build_case_study
+
+
+def run_idle_profile():
+    system = build_case_study()
+    kernel = system.kernel
+
+    def idle_run():
+        def body(k, proc):
+            for _ in range(30):
+                yield from tsleep(k, ("nap", proc.pid), timo=3)
+            yield from syscall(k, proc, "exit", 0)
+
+        kernel.sched.spawn("napper", body)
+        kernel.sched.run()
+
+    capture = system.profile(idle_run, label="idle system (clock ticks)")
+    analysis = system.analyze(capture)
+    return system, analysis, summarize(analysis)
+
+
+def test_clock_interrupt_cost(benchmark, comparison):
+    system, analysis, summary = once(benchmark, run_idle_profile)
+
+    isaintr = summary.get("ISAINTR")
+    hardclock = summary.get("hardclock")
+    gatherstats = summary.get("gatherstats")
+    assert isaintr is not None and hardclock is not None
+
+    comparison.row("clock tick total", us(94), us(isaintr.avg_us))
+    assert 70 <= isaintr.avg_us <= 120
+
+    ast_us = system.kernel.cost.ast_emulation_ns / 1_000
+    comparison.row("AST emulation share", us(24), us(ast_us))
+    assert 20 <= ast_us <= 28
+    # The AST emulation really is charged inside the tick.
+    assert isaintr.avg_us > hardclock.avg_us + ast_us * 0.8
+
+    comparison.row(
+        "hardclock (incl gatherstats)", "~55 us", us(hardclock.avg_us)
+    )
+    assert gatherstats.calls == hardclock.calls
+
+    # An idle machine is nearly all idle time.
+    comparison.row("idle fraction", "~99%", pct(100 * (1 - analysis.busy_fraction)))
+    assert analysis.busy_fraction <= 0.05

@@ -1,0 +1,79 @@
+"""FFS — the filesystem/disk measurements.
+
+Paper: "Each read of the disc varied from 18 milliseconds up to 26
+milliseconds.  Each write interrupt took about 200 microseconds in total,
+with about 149 microseconds of that being actual transfer time of the
+data to the controller.  Interrupts seemed to be close together most of
+the time (< 100 microseconds) ... the CPU was only busy for 28% of the
+time when doing a large number of writes."
+"""
+
+from __future__ import annotations
+
+from paperbench import ms, once, pct, us
+
+from repro.analysis.summary import summarize
+from repro.kernel.drivers.wd import SECTOR_GAP_NS
+from repro.sim.bus import Region
+from repro.system import build_case_study
+from repro.workloads.fileio import file_read_back, file_write_storm
+
+
+def run_write_profile():
+    system = build_case_study()
+    capture = system.profile(
+        lambda: file_write_storm(system.kernel, nblocks=20),
+        label="FFS write storm",
+    )
+    analysis = system.analyze(capture)
+    return system, analysis, summarize(analysis)
+
+
+def test_ffs_write_profile(benchmark, comparison):
+    system, analysis, summary = once(benchmark, run_write_profile)
+
+    busy = 100 * analysis.busy_fraction
+    comparison.row("CPU busy during writes", pct(28), pct(busy))
+    assert 15 <= busy <= 55
+
+    # Per-sector write interrupt: ISAINTR around wdintr.
+    wdintr = summary.get("wdintr")
+    assert wdintr is not None
+    comparison.row("write interrupt (wdintr incl)", us(200), us(wdintr.avg_us))
+    assert 120 <= wdintr.avg_us <= 280
+
+    # Sector transfer to the controller: the paper's 149 us.
+    transfer_us = 512 * (
+        system.kernel.cost.main_read_ns + system.kernel.cost.isa16_write_ns
+    ) / 1_000
+    comparison.row("sector transfer", us(149), us(transfer_us))
+    assert 120 <= transfer_us <= 180
+
+    # Interrupt spacing: the controller gap is under 100 us.
+    comparison.row("inter-sector gap", "< 100 us", us(SECTOR_GAP_NS / 1_000))
+    assert SECTOR_GAP_NS < 100_000
+
+    # spl* visible in the disk profile too ("at least 6%" of the busy 28%).
+    spl_net_share = sum(
+        summary.pct_net(summary.get(n))
+        for n in ("splnet", "splx", "spl0", "splbio", "splhigh")
+        if summary.get(n)
+    )
+    comparison.row("spl* share of busy time", ">= ~6%", pct(spl_net_share))
+    assert spl_net_share >= 3
+
+
+def test_ffs_read_latency(benchmark, comparison):
+    system = build_case_study()
+    result = once(benchmark, file_read_back, system.kernel, nblocks=10)
+    mean = result.mean_op_us
+    lo = min(result.per_op_us)
+    hi = max(result.per_op_us)
+    comparison.row("disk read, mean", "18-26 ms", ms(mean))
+    comparison.row("disk read, min", ms(18_000), ms(lo))
+    comparison.row("disk read, max", ms(26_000), ms(hi))
+    assert 14_000 <= mean <= 28_000
+    assert hi <= 35_000
+    # Seek dominance: the CPU work per block is a small fraction.
+    cpu_per_block_us = 16 * 250  # 16 sector interrupts
+    assert cpu_per_block_us < 0.4 * mean

@@ -1,0 +1,62 @@
+"""FIG3 — Figure 3: the function summary of the TCP receive test.
+
+Paper values: CPU 98.99% busy over a ~0.5 s capture; bcopy top at 33.25%
+real, in_cksum second at 30.51%, splnet ~5.3% over ~2500 calls at ~10 us
+each; soreceive/splx/malloc/werint/weget/free/westart fill the top ten.
+"""
+
+from __future__ import annotations
+
+from paperbench import assert_order, once, pct, top_names, us
+
+from repro.analysis.summary import summarize
+from repro.system import build_case_study
+from repro.workloads.network_recv import network_receive
+
+
+def run_figure3():
+    system = build_case_study()
+    capture = system.profile(
+        lambda: network_receive(system.kernel, total_packets=60),
+        label="TCP receive (Figure 3)",
+    )
+    analysis = system.analyze(capture)
+    return analysis, summarize(analysis), capture
+
+
+def test_figure3_summary(benchmark, comparison):
+    analysis, summary, capture = once(benchmark, run_figure3)
+
+    print()
+    print(summary.format(limit=12))
+
+    busy = 100 * summary.busy_fraction
+    comparison.row("CPU busy", pct(98.99), pct(busy))
+    assert busy >= 95
+
+    rows = summary.rows()
+    assert_order(top_names(summary, 2), "bcopy", "in_cksum")
+    comparison.row("bcopy % real", pct(33.25), pct(summary.pct_real(rows[0])))
+    comparison.row("in_cksum % real", pct(30.51), pct(summary.pct_real(rows[1])))
+    assert 25 <= summary.pct_real(rows[0]) <= 45
+    assert 25 <= summary.pct_real(rows[1]) <= 42
+
+    splnet = summary.get("splnet")
+    comparison.row("splnet avg", us(10), us(splnet.avg_us))
+    comparison.row("splnet calls/packet", "~15", f"{splnet.calls / 60:.1f}")
+    assert 7 <= splnet.avg_us <= 14
+
+    spl_share = sum(
+        summary.pct_real(summary.get(n))
+        for n in ("splnet", "splx", "spl0", "splhigh")
+        if summary.get(n)
+    )
+    comparison.row("spl* family % real", pct(9.0), pct(spl_share))
+    assert 3 <= spl_share <= 13
+
+    present = {row.name for row in rows[:25]}
+    for expected in ("soreceive", "werint", "weget", "malloc", "westart", "m_free"):
+        assert expected in {r.name for r in rows}, f"{expected} missing"
+    assert "bcopy" in present and "in_cksum" in present
+
+    comparison.row("events captured", "28060 (0.5 s)", len(capture))

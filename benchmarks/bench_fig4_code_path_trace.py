@@ -1,0 +1,78 @@
+"""FIG4 — Figure 4: the real-time code-path trace.
+
+The paper's trace fragment shows the exact packet path
+(ISAINTR -> weintr -> werint -> weread -> ... -> bcopy; then
+ipintr -> splnet/splx/in_cksum -> tcp_input -> in_cksum/in_pcblookup),
+a context-switch flag, the ``<- swtch`` return and the nested
+falloc/fdalloc/min shapes.  The shape check here is that every one of
+those call paths appears with the right nesting in our regenerated trace.
+"""
+
+from __future__ import annotations
+
+from paperbench import once
+
+from repro.analysis.trace import format_trace
+from repro.kernel.net.socket import Socket
+from repro.kernel.proc import Proc
+from repro.kernel.syscalls import syscall
+from repro.system import build_case_study
+from repro.workloads.network_recv import LISTEN_PORT, SparcSender, network_receive
+
+
+def run_figure4():
+    system = build_case_study()
+    capture = system.profile(
+        lambda: network_receive(system.kernel, total_packets=8),
+        label="TCP receive (Figure 4 window)",
+    )
+    analysis = system.analyze(capture)
+    return system, analysis
+
+
+def parent_names(analysis, target: str) -> set[str]:
+    parents = set()
+    for node in analysis.nodes():
+        for child in node.children:
+            if child.name == target:
+                parents.add(node.name)
+    return parents
+
+
+def test_figure4_code_path_trace(benchmark):
+    system, analysis = once(benchmark, run_figure4)
+    text = format_trace(analysis, start_us=0, end_us=25_000)
+    print()
+    print("\n".join(text.splitlines()[:45]))
+
+    full = format_trace(analysis)
+    # Every function in the paper's Figure 4 fragment appears.
+    for fragment in (
+        "-> ISAINTR",
+        "-> weintr",
+        "-> werint",
+        "-> weread",
+        "-> weget",
+        "-> bcopy",
+        "-> ipintr",
+        "-> splnet",
+        "-> splx",
+        "-> in_cksum",
+        "-> tcp_input",
+        "-> in_pcblookup",
+        "-> tsleep",
+        "<- swtch",
+        "== MGET",
+    ):
+        assert fragment in full, f"{fragment} missing"
+
+    # Nesting as printed in the paper.
+    assert "weintr" in parent_names(analysis, "werint")
+    assert "werint" in parent_names(analysis, "weread")
+    assert "ISAINTR" in parent_names(analysis, "weintr")
+    assert "ipintr" in parent_names(analysis, "tcp_input")
+    assert "tcp_input" in parent_names(analysis, "in_cksum")
+
+    # The accept path of Figure 4's tail: falloc -> fdalloc -> min.
+    assert "falloc" in parent_names(analysis, "fdalloc")
+    assert "fdalloc" in parent_names(analysis, "min")

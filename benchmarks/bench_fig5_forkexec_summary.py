@@ -1,0 +1,96 @@
+"""FIG5 — Figure 5: the high-cost subroutines of the fork/exec loop.
+
+Paper rows (% of net busy time): pmap_remove 28.22 (67 calls, max
+14061 us), pmap_pte 10.61 (5549 calls, ~3 us), splnet 6.20, bcopyb 5.21
+(3 console scrolls at ~3.6 ms), spl0 4.85, pmap_protect 3.77, bcopy 2.71,
+vm_fault 2.34 (115 calls, ~415 us incl), splx 2.28, vm_page_lookup 2.09
+(~18 us), pmap_enter 1.67 (~29 us), bzero 1.66 — "Over 50% of the time is
+being spent in the virtual memory routines".
+"""
+
+from __future__ import annotations
+
+from paperbench import once, pct, us
+
+from repro.analysis.summary import summarize
+from repro.system import build_case_study
+from repro.workloads.forkexec import fork_exec_storm
+
+
+VM_NAMES = (
+    "pmap_remove",
+    "pmap_pte",
+    "pmap_enter",
+    "pmap_protect",
+    "pmap_copy",
+    "vm_fault",
+    "vm_page_lookup",
+    "vm_page_alloc",
+    "vm_page_free",
+    "vmspace_fork",
+    "vmspace_exec",
+    "vmspace_alloc",
+    "vmspace_teardown",
+    "vm_map_find",
+    "vm_map_delete",
+    "kmem_alloc",
+    "bzero",
+)
+
+
+def run_figure5():
+    system = build_case_study()
+    capture = system.profile(
+        lambda: fork_exec_storm(system.kernel, iterations=3, print_status=True),
+        label="fork/exec loop (Figure 5)",
+    )
+    return summarize(system.analyze(capture))
+
+
+def test_figure5_forkexec_summary(benchmark, comparison):
+    summary = once(benchmark, run_figure5)
+    print()
+    print(summary.format(limit=14))
+
+    rows = summary.rows()
+    assert rows[0].name == "pmap_remove"
+    comparison.row(
+        "pmap_remove % net", pct(28.22), pct(summary.pct_net(rows[0]))
+    )
+    comparison.row(
+        "pmap_remove max", us(14_061), us(summary.get("pmap_remove").max_us)
+    )
+    assert 12 <= summary.pct_net(rows[0]) <= 40
+
+    pte = summary.get("pmap_pte")
+    comparison.row("pmap_pte % net", pct(10.61), pct(summary.pct_net(pte)))
+    comparison.row("pmap_pte avg", us(3), us(pte.avg_us))
+    comparison.row("pmap_pte calls", 5_549, pte.calls)
+    assert pte.calls >= 3_000
+    assert pte.avg_us <= 5
+    assert 5 <= summary.pct_net(pte) <= 20
+
+    vm_share = sum(
+        summary.pct_net(summary.get(n)) for n in VM_NAMES if summary.get(n)
+    )
+    comparison.row("VM routines % net", "> 50%", pct(vm_share))
+    assert vm_share >= 50
+
+    bcopyb = summary.get("bcopyb")
+    comparison.row("bcopyb avg (scroll)", us(3_624), us(bcopyb.avg_us))
+    assert 2_300 <= bcopyb.avg_us <= 4_500
+
+    fault = summary.get("vm_fault")
+    comparison.row("vm_fault avg incl", us(415), us(fault.avg_us))
+    assert 200 <= fault.avg_us <= 600
+
+    lookup = summary.get("vm_page_lookup")
+    comparison.row("vm_page_lookup avg", us(18), us(lookup.avg_us))
+    enter = summary.get("pmap_enter")
+    comparison.row("pmap_enter avg", us(29), us(enter.avg_us))
+    assert 10 <= lookup.avg_us <= 28
+    assert 18 <= enter.avg_us <= 45
+
+    # The spl family is visible in this profile too.
+    assert summary.get("splnet") is not None
+    assert summary.get("spl0") is not None

@@ -1,0 +1,56 @@
+"""FORK — fork/exec latency.
+
+Paper: "it takes some 24 milliseconds to perform a vfork operation, and
+it takes about 28 milliseconds to perform an execve system call.  This
+adds to about 52 milliseconds to perform a combined fork/exec operation.
+Note that these times do not include any disk activity, as the process
+image was already cached. ... pmap_pte is called 1053 times when a fork
+is executed, and a similar amount when an exec is done."
+"""
+
+from __future__ import annotations
+
+from paperbench import ms, once
+
+from repro.analysis.summary import summarize
+from repro.system import build_case_study
+from repro.workloads.forkexec import fork_exec_storm
+from repro.kernel.vm.vm_glue import ExecImage
+
+
+def run_forkexec():
+    system = build_case_study()
+    capture = system.profile(
+        lambda: fork_exec_storm(system.kernel, iterations=4)
+    )
+    summary = summarize(system.analyze(capture))
+    return system, summary
+
+
+def test_forkexec_latency(benchmark, comparison):
+    system = build_case_study()
+    result = once(
+        benchmark, fork_exec_storm, system.kernel, iterations=4
+    )
+
+    comparison.row("vfork", ms(24_000), ms(result.mean_fork_us))
+    comparison.row("execve", ms(28_000), ms(result.mean_exec_us))
+    comparison.row("fork+exec pair", ms(52_000), ms(result.mean_pair_us))
+    assert 12_000 <= result.mean_fork_us <= 34_000
+    assert 18_000 <= result.mean_exec_us <= 40_000
+    assert 32_000 <= result.mean_pair_us <= 70_000
+    # Exec costs more than fork, as in the paper.
+    assert result.mean_exec_us > result.mean_fork_us
+
+    # The pmap_pte storm: each fork walks every mapped range page by page.
+    walked = ExecImage(name="sh").mapped_pages
+    comparison.row("pmap_pte walk per fork", 1_053, walked)
+    assert 900 <= walked <= 1_200
+
+    # No disk activity: the image was cached (warm-up writes excepted).
+    reads_before = system.kernel.filesystem.disk.reads
+    fork_exec_storm(system.kernel, iterations=1)
+    comparison.row(
+        "disk reads during fork/exec", 0, system.kernel.filesystem.disk.reads - reads_before
+    )
+    assert system.kernel.filesystem.disk.reads == reads_before

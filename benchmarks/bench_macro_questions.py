@@ -1,0 +1,55 @@
+"""MACRO — the paper's three macro-profiling questions, answered.
+
+"Virtually all kernel code paths traverse these higher level routines, so
+it is possible to get a broad-brush view of system performance to answer
+questions like, 'How long does it take to fork/exec a process?'  Or 'How
+long does it take to read this file?'  Or 'How long does it take to open
+a TCP connection?'"
+
+One benchmark per question, each answered from a macro capture of the
+syscall/vnode layer — the whole point of the instrument-everything mode.
+"""
+
+from __future__ import annotations
+
+from paperbench import ms, once, us
+
+from repro.system import build_case_study
+from repro.workloads.fileio import file_read_back
+from repro.workloads.forkexec import fork_exec_storm
+from repro.workloads.network_send import network_send
+
+
+def run_all_three():
+    forkexec_system = build_case_study()
+    forkexec = fork_exec_storm(forkexec_system.kernel, iterations=2)
+
+    file_system = build_case_study()
+    reads = file_read_back(file_system.kernel, nblocks=6)
+
+    net_system = build_case_study()
+    send = network_send(net_system.kernel, total_bytes=8 * 1024)
+    return forkexec, reads, send
+
+
+def test_macro_questions(benchmark, comparison):
+    forkexec, reads, send = once(benchmark, run_all_three)
+
+    # Q1: "How long does it take to fork/exec a process?" — ~52 ms.
+    comparison.row(
+        "fork/exec a process", ms(52_000), ms(forkexec.mean_pair_us)
+    )
+    assert 32_000 <= forkexec.mean_pair_us <= 70_000
+
+    # Q2: "How long does it take to read this file?" — a cold 8 KB block
+    # is seek-bound at ~20 ms.
+    comparison.row("read a (cold) file block", "18-26 ms", ms(reads.mean_op_us))
+    assert 12_000 <= reads.mean_op_us <= 30_000
+
+    # Q3: "How long does it take to open a TCP connection?" — the
+    # handshake over a quiet Ethernet is a couple of milliseconds.
+    comparison.row("open a TCP connection", "measurable", us(send.connect_us))
+    assert 300 <= send.connect_us <= 20_000
+    # And the answers come from one selective-profiling build each, with
+    # the workload completing correctly:
+    assert send.bytes_sent == send.sink_bytes == 8 * 1024

@@ -1,0 +1,65 @@
+"""NET — the packet-cost breakdown and the paper's two counterfactuals.
+
+Paper numbers: the driver copy of a full packet ~1045 us; checksumming
+1 KB ~843 us; copyout of a 1 KB cluster ~40 us; total ~2000 us/packet.
+
+Counterfactual 1 (rejected): leave frames in controller RAM as external
+mbufs — "Contrary to intuition, this would actually decrease the
+performance ... The time to process a packet would increase from 2000
+microseconds to around 3000 microseconds, a big loss."
+
+Counterfactual 2 (recommended): recode in_cksum in assembler — "should
+provide a reduction in packet processing from 2000 microseconds to
+perhaps 1200 microseconds".
+"""
+
+from __future__ import annotations
+
+from paperbench import once, us
+
+from repro.sim.cpu import CostModel
+from repro.system import build_case_study
+from repro.workloads.network_recv import network_receive
+
+PACKETS = 40
+
+
+def packet_cost_us(cost: CostModel | None = None) -> float:
+    system = build_case_study(cost=cost)
+    result = network_receive(system.kernel, total_packets=PACKETS)
+    assert result.bytes_received == PACKETS * 1024
+    return result.elapsed_us / PACKETS
+
+
+def run_all_variants():
+    stock = packet_cost_us()
+    controller_mbufs = packet_cost_us(
+        CostModel(mbufs_in_controller_ram=True)
+    )
+    asm_cksum = packet_cost_us(CostModel(asm_cksum=True))
+    return stock, controller_mbufs, asm_cksum
+
+
+def test_network_whatif(benchmark, comparison):
+    stock, controller_mbufs, asm_cksum = once(benchmark, run_all_variants)
+
+    comparison.row("packet cost, stock", us(2_000), us(stock))
+    assert 1_500 <= stock <= 3_200
+
+    comparison.row(
+        "packet cost, mbufs in controller RAM", us(3_000), us(controller_mbufs)
+    )
+    # "a big loss": the rejected optimisation makes things worse.
+    assert controller_mbufs > stock * 1.2
+    loss = controller_mbufs - stock
+    comparison.row("  -> loss per packet", us(1_000), us(loss))
+
+    comparison.row("packet cost, asm in_cksum", us(1_200), us(asm_cksum))
+    # "a major improvement": roughly the checksum's share disappears.
+    assert asm_cksum < stock * 0.75
+    saving = stock - asm_cksum
+    comparison.row("  -> saving per packet", us(800), us(saving))
+    assert 500 <= saving <= 1_200
+
+    # Ordering: asm recode < stock < controller-RAM mbufs, always.
+    assert asm_cksum < stock < controller_mbufs

@@ -1,0 +1,78 @@
+"""SPL — the interrupt-priority synchronisation tax.
+
+Paper: "on the average it took 11 microseconds per splnet call ... In one
+test, 9% of the total CPU time was spent in splnet, splx, splhigh and
+spl0"; in the disk-write test "at least 6% [of busy time] was spent in
+the spl* routines".  The 68020 comparison point: on a multi-priority
+interrupt architecture the same primitive is a single move-to-SR.
+"""
+
+from __future__ import annotations
+
+from paperbench import once, pct, us
+
+from repro.analysis.summary import summarize
+from repro.kernel.intr import splnet, splx
+from repro.kernel.kernel import Kernel
+from repro.sim.cpu import Cpu
+from repro.sim.machine import Machine
+from repro.system import build_case_study
+from repro.workloads.fileio import file_write_storm
+from repro.workloads.network_recv import network_receive
+
+SPL_FAMILY = ("splnet", "splx", "spl0", "splhigh", "splbio", "splclock")
+
+
+def spl_share(summary, of: str = "net") -> float:
+    total = 0.0
+    for name in SPL_FAMILY:
+        stats = summary.get(name)
+        if stats is None:
+            continue
+        total += summary.pct_net(stats) if of == "net" else summary.pct_real(stats)
+    return total
+
+
+def run_both_profiles():
+    net_system = build_case_study()
+    net_capture = net_system.profile(
+        lambda: network_receive(net_system.kernel, total_packets=40)
+    )
+    net_summary = summarize(net_system.analyze(net_capture))
+
+    disk_system = build_case_study()
+    disk_capture = disk_system.profile(
+        lambda: file_write_storm(disk_system.kernel, nblocks=16)
+    )
+    disk_summary = summarize(disk_system.analyze(disk_capture))
+    return net_summary, disk_summary
+
+
+def test_spl_overhead(benchmark, comparison):
+    net_summary, disk_summary = once(benchmark, run_both_profiles)
+
+    splnet_stats = net_summary.get("splnet")
+    comparison.row("splnet per call", us(11), us(splnet_stats.avg_us))
+    assert 7 <= splnet_stats.avg_us <= 14
+
+    net_share = spl_share(net_summary, of="real")
+    comparison.row("network test spl* % (of total)", pct(9.0), pct(net_share))
+    assert 3 <= net_share <= 13
+
+    disk_share = spl_share(disk_summary, of="net")
+    comparison.row("disk-write test spl* % (of busy)", ">= 6%", pct(disk_share))
+    assert disk_share >= 3
+
+    # Ablation: the 68020's single-instruction spl primitive.
+    i386 = Kernel()
+    before = i386.machine.now_ns
+    splx(i386, splnet(i386))
+    i386_pair_us = (i386.machine.now_ns - before) / 1_000
+
+    m68k = Kernel(Machine(cpu=Cpu.m68020_25mhz()))
+    before = m68k.machine.now_ns
+    splx(m68k, splnet(m68k))
+    m68k_pair_us = (m68k.machine.now_ns - before) / 1_000
+    comparison.row("splnet+splx pair, i386/ISA", "~14 us", us(i386_pair_us))
+    comparison.row("splnet+splx pair, 68020", "~1-2 us", us(m68k_pair_us))
+    assert i386_pair_us > 3 * m68k_pair_us

@@ -1,0 +1,16 @@
+"""Benchmark fixtures (helpers live in paperbench)."""
+
+from __future__ import annotations
+
+import pytest
+
+from paperbench import PaperComparison
+
+
+@pytest.fixture
+def comparison(request):
+    """A PaperComparison that prints itself when the test ends."""
+    table = PaperComparison(title=request.node.name)
+    yield table
+    if table.rows:
+        table.emit()

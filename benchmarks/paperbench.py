@@ -1,0 +1,60 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure/claim from the paper's
+evaluation and prints a paper-vs-measured comparison (run with ``-s`` to
+see the tables inline; they are also asserted, so a silent green run
+means the shapes hold).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+class PaperComparison:
+    """Collects paper-vs-measured rows and renders one table."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: list[tuple[str, str, str]] = []
+
+    def row(self, what: str, paper: object, measured: object) -> None:
+        self.rows.append((what, str(paper), str(measured)))
+
+    def render(self) -> str:
+        width = max((len(r[0]) for r in self.rows), default=20)
+        lines = [f"== {self.title} ==",
+                 f"{'quantity':<{width}}  {'paper':>16}  {'measured':>16}"]
+        for what, paper, measured in self.rows:
+            lines.append(f"{what:<{width}}  {paper:>16}  {measured:>16}")
+        return "\n".join(lines)
+
+    def emit(self) -> None:
+        print("\n" + self.render())
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pct(value: float) -> str:
+    return f"{value:.2f}%"
+
+
+def us(value: float) -> str:
+    return f"{value:.0f} us"
+
+
+def ms(value_us: float) -> str:
+    return f"{value_us / 1000:.1f} ms"
+
+
+def top_names(summary, n: int) -> list[str]:
+    return [row.name for row in summary.rows()[:n]]
+
+
+def assert_order(names: Iterable[str], *expected_prefix: str) -> None:
+    actual = list(names)[: len(expected_prefix)]
+    assert actual == list(expected_prefix), (
+        f"expected the profile to open with {expected_prefix}, got {actual}"
+    )

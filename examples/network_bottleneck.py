@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's §Network Performance investigation, reproduced as analysis.
+
+The measured story: bcopy (the driver's 8-bit ISA copy) and in_cksum (the
+unoptimised C checksum) together eat two thirds of the CPU.  The paper
+then asks two "would this help?" questions and answers them with the
+Profiler's numbers; here both counterfactuals are *run*, not estimated:
+
+1. keep received frames in controller RAM as external mbufs (rejected:
+   every later touch of the data pays the bus penalty — "a big loss");
+2. recode in_cksum in assembler (recommended: "a major improvement").
+
+Run:  python examples/network_bottleneck.py
+"""
+
+from repro import build_case_study
+from repro.analysis.summary import summarize
+from repro.sim.cpu import CostModel
+from repro.workloads.network_recv import network_receive
+
+PACKETS = 40
+
+
+def measure(label: str, cost: CostModel | None = None) -> float:
+    """Run the receive test; returns per-packet cost in microseconds."""
+    system = build_case_study(cost=cost)
+    run = network_receive(system.kernel, total_packets=PACKETS)
+    per_packet = run.elapsed_us / run.packets_sent
+    print(f"  {label:<38} {per_packet:8.0f} us/packet")
+    return per_packet
+
+
+def main() -> None:
+    print("Step 1: profile the stock kernel and find the bottleneck")
+    system = build_case_study()
+    capture = system.profile(
+        lambda: network_receive(system.kernel, total_packets=PACKETS),
+        label="network bottleneck hunt",
+    )
+    summary = summarize(system.analyze(capture))
+    print(summary.format(limit=6))
+    bcopy = summary.rows()[0]
+    cksum = summary.get("in_cksum")
+    print(
+        f"\n  -> {summary.pct_real(bcopy):.1f}% in bcopy, "
+        f"{summary.pct_real(cksum):.1f}% in in_cksum: two functions own "
+        "two thirds of a saturated CPU.\n"
+    )
+
+    print("Step 2: run the paper's two counterfactuals for real")
+    stock = measure("stock kernel")
+    controller = measure(
+        "mbufs left in controller RAM (idea #1)",
+        CostModel(mbufs_in_controller_ram=True),
+    )
+    recoded = measure("in_cksum recoded in assembler (idea #2)", CostModel(asm_cksum=True))
+
+    print("\nStep 3: the verdicts (paper: 2000 -> ~3000 us; 2000 -> ~1200 us)")
+    print(
+        f"  idea #1 is a LOSS of {controller - stock:.0f} us/packet — "
+        "checksum and copyout now read the slow 8-bit bus byte by byte"
+    )
+    print(
+        f"  idea #2 is a WIN of {stock - recoded:.0f} us/packet — "
+        "and the limiting factor becomes the ISA bus itself"
+    )
+    assert controller > stock > recoded
+
+
+if __name__ == "__main__":
+    main()

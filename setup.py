@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment has no `wheel` package, so editable
+installs go through `pip install -e . --no-use-pep517`, which needs a
+setup.py.  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

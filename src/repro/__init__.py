@@ -1,0 +1,51 @@
+"""repro: a reproduction of "Hardware Profiling of Kernels" (McRae, 1993).
+
+The package rebuilds the paper's complete system in simulation:
+
+* :mod:`repro.profiler` -- the EPROM-socket hardware trace recorder;
+* :mod:`repro.instrument` -- the modified-compiler tag machinery and the
+  two-stage ``_ProfileBase`` link;
+* :mod:`repro.analysis` -- the trace decode, call-tree reconstruction and
+  the paper's two reports;
+* :mod:`repro.sim` -- the simulated 40 MHz 386 PC with its ISA bus;
+* :mod:`repro.kernel` -- a miniature 386BSD with every subsystem the case
+  study profiles (scheduler, spl interrupts, VM/pmap, TCP/IP over mbufs,
+  FFS + buffer cache + NFS, WD8003E and IDE drivers);
+* :mod:`repro.workloads` -- the case-study workloads (network receive,
+  fork/exec, file I/O, NFS);
+* :mod:`repro.baselines` -- the profiling methods the paper rejects.
+
+Quickstart::
+
+    from repro import build_case_study
+    system = build_case_study()
+    capture = system.profile(lambda: system.workloads.network_receive())
+    print(system.report(capture))
+"""
+
+__version__ = "1.0.0"
+
+from repro.profiler import Capture, CaptureSession, ProfilerBoard
+from repro.instrument import InstrumentingCompiler, NameTable, TwoStageLinker
+from repro.analysis import analyze_capture, full_report, summarize
+
+__all__ = [
+    "Capture",
+    "CaptureSession",
+    "InstrumentingCompiler",
+    "NameTable",
+    "ProfilerBoard",
+    "TwoStageLinker",
+    "__version__",
+    "analyze_capture",
+    "build_case_study",
+    "full_report",
+    "summarize",
+]
+
+
+def build_case_study(*args, **kwargs):
+    """Build the paper's complete case-study system (lazy import)."""
+    from repro.system import build_case_study as _build
+
+    return _build(*args, **kwargs)

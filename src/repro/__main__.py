@@ -1,0 +1,207 @@
+"""Command-line interface: run captures and analyses from a shell.
+
+Usage examples::
+
+    python -m repro capture --workload network --packets 40 --report summary
+    python -m repro capture --workload forkexec --report gprof --save run.mpf \
+        --names run.tags
+    python -m repro analyze run.mpf --names run.tags --report trace
+    python -m repro workloads
+
+The capture command is the whole paper in one invocation: build the rig,
+arm the board, run the chosen workload, pull the RAMs, and print the
+requested report(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.callstack import analyze_capture
+from repro.analysis.folded import flame_ascii, to_folded
+from repro.analysis.gprof import gprof_report
+from repro.analysis.timeline import render_timeline
+from repro.analysis.summary import summarize
+from repro.analysis.trace import format_trace
+from repro.instrument.namefile import NameTable
+from repro.profiler.capture import Capture
+from repro.system import build_case_study
+
+WORKLOADS: dict[str, str] = {
+    "network": "TCP receive test (Figures 3/4): the SPARC sender saturates the PC",
+    "network-send": "TCP transmit test: the PC streams out to a discard sink",
+    "forkexec": "fork/exec storm (Figure 5)",
+    "filewrite": "FFS asynchronous write storm",
+    "fileread": "seek-heavy alternating file reads",
+    "nfs": "NFS read stream (UDP checksums off)",
+    "mixed": "a bit of everything (Table 1 population)",
+    "tty": "character-input interrupts (typing at a shell)",
+    "snmp-linear": "user-level profiled SNMP agent, linear MIB",
+    "snmp-btree": "user-level profiled SNMP agent, B-tree MIB",
+}
+
+REPORTS = ("summary", "trace", "gprof", "folded", "flame", "timeline")
+
+
+def _run_workload(system, name: str, packets: int) -> None:
+    kernel = system.kernel
+    if name == "network":
+        from repro.workloads.network_recv import network_receive
+
+        network_receive(kernel, total_packets=packets)
+    elif name == "network-send":
+        from repro.workloads.network_send import network_send
+
+        network_send(kernel, total_bytes=packets * 1024)
+    elif name == "forkexec":
+        from repro.workloads.forkexec import fork_exec_storm
+
+        fork_exec_storm(kernel, iterations=max(1, packets // 15))
+    elif name == "filewrite":
+        from repro.workloads.fileio import file_write_storm
+
+        file_write_storm(kernel, nblocks=max(4, packets // 2))
+    elif name == "fileread":
+        from repro.workloads.fileio import file_read_back
+
+        file_read_back(kernel, nblocks=max(4, packets // 4))
+    elif name == "nfs":
+        from repro.workloads.nfsio import nfs_read_stream
+
+        nfs_read_stream(kernel, file_bytes=packets * 1024)
+    elif name == "mixed":
+        from repro.workloads.mixed import mixed_activity
+
+        mixed_activity(kernel, rounds=max(2, packets // 8))
+    elif name == "tty":
+        from repro.workloads.ttyio import attach_tty, type_and_read
+
+        attach_tty(kernel)
+        type_and_read(kernel, text="profile me please\n" * max(1, packets // 10))
+    elif name in ("snmp-linear", "snmp-btree"):
+        from repro.workloads.snmp import snmp_agent_run
+
+        snmp_agent_run(
+            kernel,
+            mib_kind=name.split("-")[1],
+            requests=packets,
+            names=system.names,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown workload {name!r}")
+
+
+def _print_reports(
+    capture: Capture, reports: Sequence[str], summary_limit: int, out: Callable
+) -> None:
+    analysis = analyze_capture(capture)
+    for report in reports:
+        if report == "summary":
+            out(summarize(analysis).format(limit=summary_limit))
+        elif report == "trace":
+            out(format_trace(analysis))
+        elif report == "gprof":
+            out(gprof_report(analysis).format(limit=summary_limit))
+        elif report == "folded":
+            out(to_folded(analysis))
+        elif report == "flame":
+            out(flame_ascii(analysis))
+        elif report == "timeline":
+            out(render_timeline(analysis))
+        out("")
+
+
+def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
+    modules = args.modules.split(",") if args.modules else None
+    system = build_case_study(profiled_modules=modules)
+    out(
+        f"built: {system.image.profiled_functions} profiled functions, "
+        f"board depth {system.board.ram.depth}"
+    )
+    capture = system.profile(
+        lambda: _run_workload(system, args.workload, args.packets),
+        label=f"cli: {args.workload}",
+    )
+    out(
+        f"captured {len(capture)} events"
+        + (" (RAM overflowed)" if capture.overflowed else "")
+    )
+    if args.save:
+        capture.save(args.save)
+        out(f"raw records written to {args.save}")
+    if args.names:
+        system.names.write(args.names)
+        out(f"name/tag file written to {args.names}")
+    _print_reports(capture, args.report, args.summary_limit, out)
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
+    names = NameTable.read(*args.names)
+    capture = Capture.load(args.capture, names, label=f"cli: {args.capture}")
+    out(f"loaded {len(capture)} events from {args.capture}")
+    _print_reports(capture, args.report, args.summary_limit, out)
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
+    for name, description in WORKLOADS.items():
+        out(f"  {name:<12} {description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hardware Profiling of Kernels (McRae 1993), reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    capture = sub.add_parser("capture", help="run a workload under the Profiler")
+    capture.add_argument("--workload", choices=sorted(WORKLOADS), default="network")
+    capture.add_argument(
+        "--packets", type=int, default=30,
+        help="workload size knob (packets/iterations/KB; default 30)",
+    )
+    capture.add_argument(
+        "--report", action="append", choices=REPORTS, default=None,
+        help="report(s) to print (default: summary; repeatable)",
+    )
+    capture.add_argument("--summary-limit", type=int, default=12)
+    capture.add_argument(
+        "--modules", default=None,
+        help="comma-separated module prefixes to micro-profile (default: all)",
+    )
+    capture.add_argument("--save", default=None, help="write raw records here")
+    capture.add_argument("--names", default=None, help="write the name/tag file here")
+    capture.set_defaults(func=cmd_capture)
+
+    analyze = sub.add_parser("analyze", help="analyse a saved capture file")
+    analyze.add_argument("capture", help="capture file (from capture --save)")
+    analyze.add_argument(
+        "--names", action="append", required=True,
+        help="name/tag file(s) to decode with (repeatable, concatenated)",
+    )
+    analyze.add_argument(
+        "--report", action="append", choices=REPORTS, default=None
+    )
+    analyze.add_argument("--summary-limit", type=int, default=12)
+    analyze.set_defaults(func=cmd_analyze)
+
+    workloads = sub.add_parser("workloads", help="list available workloads")
+    workloads.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Callable = print) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "report", None) is None and args.command in ("capture", "analyze"):
+        args.report = ["summary"]
+    return args.func(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,389 @@
+"""Call-tree reconstruction with context-switch splitting.
+
+"Identification of function entry and exit points allow a code path trace
+to be constructed ... when the target being profiled is a kernel this
+model is inadequate ... context switches occur to change the control flow
+to a different process."  The rules implemented here are the paper's:
+
+* entries and exits are matched to build nested call frames;
+* a function tagged ``!`` (``swtch``) splits the stream: "The time between
+  the exit of a call to swtch and the entry to the next call of swtch is
+  analysed as a contiguous block of processor activity";
+* "The time in swtch itself is counted as CPU idle time, except when
+  device interrupts occur" — interrupt handlers nest *inside* the open
+  ``swtch`` frame and keep their own time, so idle is exactly the
+  ``swtch`` frames' self time;
+* a process's open frames are *suspended* while it is switched out: their
+  clocks stop, so a function that sleeps is charged for its own activity
+  (including any interrupts that preempt it) but not for other processes'
+  runtime.
+
+The raw stream does not identify processes, so switch-in resolution is a
+reconstruction heuristic (documented on :class:`_Resolver`): resume the
+suspended stack whose top frame matches the next function exit, prefer
+empty (user-mode) stacks when the block opens with an entry, and create a
+fresh stack when nothing matches (a process seen for the first time).
+Truncation at both ends of the capture window is tolerated with synthetic
+frames, and every repair is recorded as an :class:`Anomaly`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.events import DecodedEvent, EventKind, decode_capture
+from repro.profiler.capture import Capture
+
+
+@dataclasses.dataclass
+class Anomaly:
+    """One repair the reconstruction had to make."""
+
+    index: int
+    time_us: int
+    kind: str
+    detail: str
+
+
+@dataclasses.dataclass
+class CallNode:
+    """One call frame in the reconstructed tree."""
+
+    name: str
+    enter_us: int
+    proc: str
+    is_swtch: bool = False
+    #: Frame synthesised to absorb an unmatched exit (capture truncation).
+    synthetic: bool = False
+    #: Exit never seen (open at end of capture); closed administratively.
+    truncated: bool = False
+    exit_us: Optional[int] = None
+    self_us: int = 0
+    depth: int = 0
+    children: list["CallNode"] = dataclasses.field(default_factory=list)
+    inline_marks: list[tuple[int, str]] = dataclasses.field(default_factory=list)
+    _inclusive_us: Optional[int] = dataclasses.field(default=None, repr=False)
+
+    @property
+    def closed(self) -> bool:
+        return self.exit_us is not None
+
+    @property
+    def inclusive_us(self) -> int:
+        """Self time plus all child subtrees (cached once closed)."""
+        if self._inclusive_us is None:
+            self._inclusive_us = self.self_us + sum(
+                child.inclusive_us for child in self.children
+            )
+        return self._inclusive_us
+
+    def walk(self) -> Iterable["CallNode"]:
+        """This node and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclasses.dataclass
+class _Stack:
+    """One process's reconstruction state."""
+
+    proc: str
+    frames: list[CallNode] = dataclasses.field(default_factory=list)
+    roots: list[CallNode] = dataclasses.field(default_factory=list)
+    suspended_at_us: int = 0
+    suspend_seq: int = -1
+    block_start_us: int = 0
+
+
+@dataclasses.dataclass
+class CallTreeAnalysis:
+    """The reconstructed forest plus the paper's headline CPU accounting."""
+
+    roots: list[CallNode]
+    anomalies: list[Anomaly]
+    wall_us: int
+    idle_us: int
+    unattributed_us: int
+    event_count: int
+    context_switches: int
+    procs: tuple[str, ...]
+    #: Inline marks that fired outside any open frame (user-mode points).
+    orphan_marks: list[tuple[int, str]] = dataclasses.field(default_factory=list)
+
+    @property
+    def busy_us(self) -> int:
+        """Accumulated run time: everything that is not idle."""
+        return self.wall_us - self.idle_us
+
+    @property
+    def busy_fraction(self) -> float:
+        """CPU utilisation over the capture window."""
+        if self.wall_us == 0:
+            return 0.0
+        return self.busy_us / self.wall_us
+
+    def nodes(self) -> Iterable[CallNode]:
+        """Every frame in the forest."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def nodes_named(self, name: str) -> list[CallNode]:
+        """Every frame for function *name*."""
+        return [node for node in self.nodes() if node.name == name]
+
+
+class _Resolver:
+    """Switch-in resolution: which suspended stack does this block belong to?
+
+    The event stream carries no process identifier, so after a ``swtch``
+    exit the analyser must decide which saved stack resumes.  The incoming
+    block's events are scanned forward (stopping at the block's closing
+    ``swtch`` entry) with a depth counter; entries open new frames, exits
+    first unwind those.  The first exit that unwinds *below* the block's
+    opening depth names a frame the resumed process was suspended inside:
+
+    1. an unwinding exit of function X — resume the least-recently
+       suspended stack whose top open frame is X;
+    2. no unwinding exit in the whole block — the process never returned
+       into pre-existing frames: resume the least-recently-suspended
+       *empty* stack (a process that was in user mode) if any;
+    3. otherwise — a process not seen before: start a fresh stack.
+    """
+
+    def __init__(self, events: Sequence[DecodedEvent]) -> None:
+        self._events = events
+
+    def resolve(
+        self, next_index: int, suspended: list[_Stack]
+    ) -> Optional[_Stack]:
+        unwind_name = self._unwinding_exit(next_index)
+        if unwind_name is not None:
+            matches = [
+                stack
+                for stack in suspended
+                if stack.frames and stack.frames[-1].name == unwind_name
+            ]
+            if matches:
+                return min(matches, key=lambda s: s.suspend_seq)
+            return None
+        empty = [stack for stack in suspended if not stack.frames]
+        if empty:
+            return min(empty, key=lambda s: s.suspend_seq)
+        return None
+
+    def _unwinding_exit(self, index: int) -> Optional[str]:
+        """Name of the first exit unwinding below the block's start depth.
+
+        Returns ``None`` when the block ends (next context switch or end
+        of capture) without such an exit.
+        """
+        depth = 0
+        for event in itertools.islice(self._events, index, None):
+            if event.kind is EventKind.ENTRY:
+                if event.is_context_switch:
+                    return None
+                depth += 1
+            elif event.kind is EventKind.EXIT:
+                if depth > 0:
+                    depth -= 1
+                else:
+                    return event.name
+        return None
+
+
+def build_call_tree(events: Sequence[DecodedEvent]) -> CallTreeAnalysis:
+    """Reconstruct the call forest from a decoded event stream."""
+    anomalies: list[Anomaly] = []
+    roots: list[CallNode] = []
+    resolver = _Resolver(events)
+    proc_counter = itertools.count()
+    suspend_counter = itertools.count()
+
+    start_us = events[0].time_us if events else 0
+    current = _Stack(proc=f"P{next(proc_counter)}", block_start_us=start_us)
+    all_stacks = [current]
+    suspended: list[_Stack] = []
+    prev_time = start_us
+    unattributed_us = 0
+    context_switches = 0
+    orphan_marks: list[tuple[int, str]] = []
+
+    def open_frame(stack: _Stack, event: DecodedEvent, is_swtch: bool) -> CallNode:
+        node = CallNode(
+            name=event.name,
+            enter_us=event.time_us,
+            proc=stack.proc,
+            is_swtch=is_swtch,
+            depth=len(stack.frames),
+        )
+        if stack.frames:
+            stack.frames[-1].children.append(node)
+        else:
+            stack.roots.append(node)
+            roots.append(node)
+        stack.frames.append(node)
+        return node
+
+    def close_frame(stack: _Stack, time_us: int) -> CallNode:
+        node = stack.frames.pop()
+        node.exit_us = time_us
+        return node
+
+    def close_through(stack: _Stack, name: str, event: DecodedEvent) -> None:
+        """Close frames down to (and including) the one named *name*."""
+        while stack.frames and stack.frames[-1].name != name:
+            skipped = close_frame(stack, event.time_us)
+            skipped.truncated = True
+            anomalies.append(
+                Anomaly(
+                    index=event.index,
+                    time_us=event.time_us,
+                    kind="missed-exit",
+                    detail=(
+                        f"exit of {name!r} arrived while {skipped.name!r} "
+                        "was still open; closed it administratively"
+                    ),
+                )
+            )
+        if stack.frames:
+            close_frame(stack, event.time_us)
+
+    for event in events:
+        # 1. Attribute the elapsed interval to the innermost active frame.
+        dt = event.time_us - prev_time
+        if current.frames:
+            current.frames[-1].self_us += dt
+        else:
+            unattributed_us += dt
+        prev_time = event.time_us
+
+        # 2. Apply the event.
+        if event.kind is EventKind.INLINE or event.kind is EventKind.UNKNOWN:
+            if event.kind is EventKind.UNKNOWN:
+                anomalies.append(
+                    Anomaly(
+                        index=event.index,
+                        time_us=event.time_us,
+                        kind="unknown-tag",
+                        detail=f"tag {event.raw.tag} is in no name file",
+                    )
+                )
+            if current.frames:
+                current.frames[-1].inline_marks.append((event.time_us, event.name))
+            else:
+                # A point hit with no open frame: user-mode inline marks
+                # between profiled calls land here.
+                orphan_marks.append((event.time_us, event.name))
+            continue
+
+        if event.kind is EventKind.ENTRY:
+            open_frame(current, event, is_swtch=event.is_context_switch)
+            continue
+
+        # EXIT events.
+        if event.is_context_switch:
+            # Close the swtch frame (tolerating interrupt frames left open
+            # above it), then switch stacks.
+            open_names = [frame.name for frame in current.frames]
+            if event.name in open_names:
+                close_through(current, event.name, event)
+            else:
+                node = CallNode(
+                    name=event.name,
+                    enter_us=current.block_start_us,
+                    proc=current.proc,
+                    is_swtch=True,
+                    synthetic=True,
+                    exit_us=event.time_us,
+                )
+                if current.frames:
+                    current.frames[-1].children.append(node)
+                else:
+                    current.roots.append(node)
+                    roots.append(node)
+                anomalies.append(
+                    Anomaly(
+                        index=event.index,
+                        time_us=event.time_us,
+                        kind="unmatched-swtch-exit",
+                        detail="context-switch exit with no open swtch frame",
+                    )
+                )
+            context_switches += 1
+            current.suspended_at_us = event.time_us
+            current.suspend_seq = next(suspend_counter)
+            suspended.append(current)
+            chosen = resolver.resolve(event.index + 1, suspended)
+            if chosen is None:
+                chosen = _Stack(proc=f"P{next(proc_counter)}")
+                all_stacks.append(chosen)
+            else:
+                suspended.remove(chosen)
+            chosen.block_start_us = event.time_us
+            current = chosen
+            continue
+
+        # Ordinary exit.
+        open_names = [frame.name for frame in current.frames]
+        if event.name in open_names:
+            close_through(current, event.name, event)
+        else:
+            node = CallNode(
+                name=event.name,
+                enter_us=current.block_start_us,
+                proc=current.proc,
+                synthetic=True,
+                exit_us=event.time_us,
+                depth=len(current.frames),
+            )
+            if current.frames:
+                current.frames[-1].children.append(node)
+            else:
+                current.roots.append(node)
+                roots.append(node)
+            anomalies.append(
+                Anomaly(
+                    index=event.index,
+                    time_us=event.time_us,
+                    kind="unmatched-exit",
+                    detail=(
+                        f"exit of {event.name!r} with no matching entry "
+                        "(function was already running when the capture began?)"
+                    ),
+                )
+            )
+
+    # 3. Close everything still open (capture window truncation).
+    end_us = events[-1].time_us if events else 0
+    for stack in [current] + suspended:
+        close_at = end_us if stack is current else stack.suspended_at_us
+        while stack.frames:
+            node = close_frame(stack, close_at)
+            node.truncated = True
+
+    idle_us = sum(
+        node.self_us
+        for root in roots
+        for node in root.walk()
+        if node.is_swtch
+    )
+    wall_us = end_us - start_us
+    return CallTreeAnalysis(
+        roots=roots,
+        anomalies=anomalies,
+        wall_us=wall_us,
+        idle_us=idle_us,
+        unattributed_us=unattributed_us,
+        event_count=len(events),
+        context_switches=context_switches,
+        procs=tuple(stack.proc for stack in all_stacks),
+        orphan_marks=orphan_marks,
+    )
+
+
+def analyze_capture(capture: Capture) -> CallTreeAnalysis:
+    """Decode *capture* and reconstruct its call forest in one step."""
+    return build_call_tree(decode_capture(capture))

@@ -1,0 +1,110 @@
+"""Before/after profile comparison.
+
+The paper's closing argument for the Profiler: "quantitative comparison
+may guide design and implementation improvements as performance
+bottlenecks are highlighted in the kernel, and accurate before and after
+measurements may be made to test the success of such changes."
+
+:func:`compare_summaries` diffs two function summaries from the same
+workload (before and after a change) and reports, per function and
+overall, what the change bought — the report format is the Figure 3
+table with delta columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.analysis.summary import FunctionStats, ProfileSummary
+
+
+@dataclasses.dataclass
+class FunctionDelta:
+    """One function's before/after movement."""
+
+    name: str
+    before: Optional[FunctionStats]
+    after: Optional[FunctionStats]
+
+    @property
+    def net_before_us(self) -> int:
+        return self.before.net_us if self.before else 0
+
+    @property
+    def net_after_us(self) -> int:
+        return self.after.net_us if self.after else 0
+
+    @property
+    def net_delta_us(self) -> int:
+        """Negative = the change made this function cheaper."""
+        return self.net_after_us - self.net_before_us
+
+    @property
+    def speedup(self) -> float:
+        """before/after net ratio (>1 = faster after)."""
+        if self.net_after_us == 0:
+            return float("inf") if self.net_before_us else 1.0
+        return self.net_before_us / self.net_after_us
+
+
+@dataclasses.dataclass
+class ProfileComparison:
+    """The complete diff of two runs of the same workload."""
+
+    before: ProfileSummary
+    after: ProfileSummary
+    deltas: dict[str, FunctionDelta]
+
+    @property
+    def wall_delta_us(self) -> int:
+        """Change in total elapsed time (negative = faster)."""
+        return self.after.wall_us - self.before.wall_us
+
+    @property
+    def wall_speedup(self) -> float:
+        if self.after.wall_us == 0:
+            return float("inf")
+        return self.before.wall_us / self.after.wall_us
+
+    @property
+    def busy_delta_us(self) -> int:
+        return self.after.busy_us - self.before.busy_us
+
+    def biggest_movers(self, n: int = 10) -> list[FunctionDelta]:
+        """Functions whose net time moved the most, either direction."""
+        return sorted(
+            self.deltas.values(), key=lambda d: -abs(d.net_delta_us)
+        )[:n]
+
+    def format(self, limit: int = 10) -> str:
+        """Render the before/after table."""
+        out = [
+            f"Elapsed: {self.before.wall_us} us -> {self.after.wall_us} us "
+            f"({self.wall_speedup:.2f}x)",
+            f"Busy:    {self.before.busy_us} us -> {self.after.busy_us} us",
+            "-" * 64,
+            f"{'net before':>11} {'net after':>10} {'delta':>9}   name",
+        ]
+        for delta in self.biggest_movers(limit):
+            out.append(
+                f"{delta.net_before_us:>11} {delta.net_after_us:>10} "
+                f"{delta.net_delta_us:>+9}   {delta.name}"
+            )
+        return "\n".join(out)
+
+
+def compare_summaries(
+    before: ProfileSummary, after: ProfileSummary
+) -> ProfileComparison:
+    """Diff two summaries of the same workload."""
+    names = set(before.functions) | set(after.functions)
+    deltas = {
+        name: FunctionDelta(
+            name=name,
+            before=before.get(name),
+            after=after.get(name),
+        )
+        for name in names
+    }
+    return ProfileComparison(before=before, after=after, deltas=deltas)

@@ -1,0 +1,124 @@
+"""Raw-record decode and time reconstruction.
+
+Two jobs, both purely mechanical:
+
+1. **Tag decode** — look every 16-bit tag up in the name table and label
+   it entry / exit / inline / unknown.
+2. **Time reconstruction** — the board stores only the low 24 bits of a
+   1 MHz counter.  "The analysis software only uses the timer value as an
+   interval time, not as an absolute time": successive records are
+   differenced modulo 2**24 and the differences accumulated into an
+   absolute microsecond timeline starting at zero.  Any real gap of 16
+   seconds or more aliases irrecoverably (the paper's stated limit); the
+   decoder cannot detect that, so it is documented rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Sequence
+
+from repro.instrument.namefile import NameTable
+from repro.instrument.tags import TagEntry, TagKind
+from repro.profiler.capture import Capture
+from repro.profiler.ram import RawRecord
+
+
+class EventKind(enum.Enum):
+    """Decoded meaning of one captured record."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    INLINE = "inline"
+    UNKNOWN = "unknown"
+
+
+_KIND_FROM_TAG = {
+    TagKind.ENTRY: EventKind.ENTRY,
+    TagKind.EXIT: EventKind.EXIT,
+    TagKind.INLINE: EventKind.INLINE,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodedEvent:
+    """One record with its reconstructed time and decoded identity."""
+
+    index: int
+    time_us: int
+    kind: EventKind
+    name: str
+    #: The owning name-table entry; ``None`` for unknown tags.
+    entry: Optional[TagEntry]
+    raw: RawRecord
+
+    @property
+    def is_context_switch(self) -> bool:
+        """True when this event belongs to a ``!``-tagged function."""
+        return self.entry is not None and self.entry.context_switch
+
+
+def reconstruct_times(
+    records: Sequence[RawRecord], width_bits: int = 24
+) -> list[int]:
+    """Absolute microsecond timeline from wrapped counter snapshots.
+
+    The first record defines t=0; each subsequent record advances by the
+    modular difference from its predecessor.
+    """
+    mask = (1 << width_bits) - 1
+    times: list[int] = []
+    absolute = 0
+    previous: Optional[int] = None
+    for record in records:
+        if record.time > mask:
+            raise ValueError(
+                f"record time {record.time} exceeds the {width_bits}-bit counter"
+            )
+        if previous is not None:
+            absolute += (record.time - previous) & mask
+        previous = record.time
+        times.append(absolute)
+    return times
+
+
+def decode_capture(capture: Capture) -> list[DecodedEvent]:
+    """Decode every record of *capture* against its name table."""
+    return decode_records(
+        capture.records, capture.names, width_bits=capture.counter_width_bits
+    )
+
+
+def decode_records(
+    records: Sequence[RawRecord], names: NameTable, width_bits: int = 24
+) -> list[DecodedEvent]:
+    """Decode a raw record sequence against *names*."""
+    times = reconstruct_times(records, width_bits=width_bits)
+    events: list[DecodedEvent] = []
+    for index, (record, time_us) in enumerate(zip(records, times)):
+        decoded = names.decode(record.tag)
+        if decoded is None:
+            events.append(
+                DecodedEvent(
+                    index=index,
+                    time_us=time_us,
+                    kind=EventKind.UNKNOWN,
+                    name=f"tag#{record.tag}",
+                    entry=None,
+                    raw=record,
+                )
+            )
+            continue
+        entry, tag_kind = decoded
+        events.append(
+            DecodedEvent(
+                index=index,
+                time_us=time_us,
+                kind=_KIND_FROM_TAG[tag_kind],
+                name=entry.name,
+                entry=entry,
+                raw=record,
+            )
+        )
+    return events

@@ -1,0 +1,100 @@
+"""Folded-stack output — "graphically representing the code path".
+
+The paper's future work asks for graphical code-path representations;
+the modern lingua franca for that is the collapsed/folded stack format
+(one ``frame;frame;frame count`` line per unique stack), consumable by
+any flame-graph renderer.  Counts here are microseconds of self time, so
+the flame graph's widths are exact measured time, not samples.
+
+A small ASCII renderer is included so captures can be eyeballed without
+external tooling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.callstack import CallNode, CallTreeAnalysis
+
+
+def to_folded(analysis: CallTreeAnalysis, root_label: str = "all") -> str:
+    """Render the capture as collapsed-stack lines (semicolon-joined).
+
+    Each line's count is the stack's self time in microseconds; lines are
+    sorted for deterministic output.
+    """
+    folded: defaultdict[str, int] = defaultdict(int)
+
+    def walk(node: CallNode, prefix: str) -> None:
+        if node.synthetic:
+            return
+        path = f"{prefix};{node.name}" if prefix else node.name
+        if node.self_us > 0:
+            folded[path] += node.self_us
+        for child in node.children:
+            walk(child, path)
+
+    for root in analysis.roots:
+        walk(root, root_label)
+    lines = [f"{path} {count}" for path, count in sorted(folded.items())]
+    return "\n".join(lines)
+
+
+def flame_ascii(
+    analysis: CallTreeAnalysis,
+    width: int = 72,
+    max_depth: int = 8,
+    min_us: int = 0,
+) -> str:
+    """An ASCII flame graph: one bar row per depth, widths ∝ time.
+
+    Frames narrower than one character collapse into ``.`` filler;
+    *min_us* prunes noise.
+    """
+    total = sum(root.inclusive_us for root in analysis.roots if not root.synthetic)
+    if total == 0:
+        return "(empty capture)"
+
+    rows: list[list[tuple[int, int, str]]] = [[] for _ in range(max_depth)]
+
+    def place(node: CallNode, depth: int, start_us: int) -> None:
+        if node.synthetic or depth >= max_depth:
+            return
+        if node.inclusive_us >= min_us:
+            rows[depth].append((start_us, node.inclusive_us, node.name))
+        cursor = start_us + node.self_us
+        for child in node.children:
+            place(child, depth + 1, cursor)
+            cursor += child.inclusive_us
+
+    cursor = 0
+    for root in analysis.roots:
+        if root.synthetic:
+            continue
+        place(root, 0, cursor)
+        cursor += root.inclusive_us
+
+    out: list[str] = []
+    for depth in range(max_depth - 1, -1, -1):
+        if not rows[depth]:
+            continue
+        line = [" "] * width
+        for start_us, span_us, name in rows[depth]:
+            col = start_us * width // total
+            span = max(1, span_us * width // total)
+            label = name[: span - 2]
+            cell = f"[{label}{'.' * (span - 2 - len(label))}]" if span >= 2 else "|"
+            for i, ch in enumerate(cell):
+                if col + i < width:
+                    line[col + i] = ch
+        out.append("".join(line).rstrip())
+    return "\n".join(out)
+
+
+def hot_stacks(analysis: CallTreeAnalysis, n: int = 5) -> list[tuple[str, int]]:
+    """The *n* hottest unique stacks by self time."""
+    pairs = []
+    for line in to_folded(analysis).splitlines():
+        path, _, count = line.rpartition(" ")
+        pairs.append((path, int(count)))
+    return sorted(pairs, key=lambda p: -p[1])[:n]

@@ -1,0 +1,127 @@
+"""A gprof-style caller/callee report from exact trace data.
+
+The era's standard profiling report, rebuilt over the Profiler's *exact*
+call records — where real gprof has to apportion time by statistical
+assumption ("a function's time is divided among its callers in
+proportion to call counts"), the capture knows precisely which caller's
+invocation cost what.  This is part of the paper's future-work plan for
+"sophisticated tools that allow statistical processing of the data".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+
+from repro.analysis.callstack import CallTreeAnalysis
+
+
+@dataclasses.dataclass
+class ArcStats:
+    """One caller->callee arc, exact (not apportioned)."""
+
+    caller: str
+    callee: str
+    calls: int = 0
+    inclusive_us: int = 0
+
+
+@dataclasses.dataclass
+class GprofEntry:
+    """One function's section of the report."""
+
+    name: str
+    calls: int
+    net_us: int
+    inclusive_us: int
+    callers: list[ArcStats]
+    callees: list[ArcStats]
+
+
+class GprofReport:
+    """The assembled caller/callee report."""
+
+    def __init__(self, entries: dict[str, GprofEntry], wall_us: int) -> None:
+        self.entries = entries
+        self.wall_us = wall_us
+
+    def entry(self, name: str) -> GprofEntry:
+        return self.entries[name]
+
+    def ordered(self) -> list[GprofEntry]:
+        """Entries by net time, heaviest first."""
+        return sorted(self.entries.values(), key=lambda e: -e.net_us)
+
+    def format(self, limit: int = 10, arcs: int = 4) -> str:
+        """Render the classic three-band sections."""
+        out: list[str] = []
+        for entry in self.ordered()[:limit]:
+            out.append("-" * 68)
+            for arc in sorted(entry.callers, key=lambda a: -a.inclusive_us)[:arcs]:
+                out.append(
+                    f"        {arc.inclusive_us:>10} us  {arc.calls:>7}/"
+                    f"{entry.calls:<7}    {arc.caller}"
+                )
+            pct = 100 * entry.net_us / self.wall_us if self.wall_us else 0.0
+            out.append(
+                f"[{pct:5.1f}%] {entry.inclusive_us:>10} us  {entry.calls:>7} "
+                f"calls    {entry.name}  (net {entry.net_us} us)"
+            )
+            for arc in sorted(entry.callees, key=lambda a: -a.inclusive_us)[:arcs]:
+                out.append(
+                    f"        {arc.inclusive_us:>10} us  {arc.calls:>7}        "
+                    f"    {arc.callee}"
+                )
+        return "\n".join(out)
+
+
+#: Caller name used for frames with no parent (top of an activity block).
+SPONTANEOUS = "<spontaneous>"
+
+
+def gprof_report(analysis: CallTreeAnalysis) -> GprofReport:
+    """Build the caller/callee report from a reconstructed call forest."""
+    calls: defaultdict[str, int] = defaultdict(int)
+    net: defaultdict[str, int] = defaultdict(int)
+    inclusive: defaultdict[str, int] = defaultdict(int)
+    caller_arcs: dict[tuple[str, str], ArcStats] = {}
+
+    def arc(caller: str, callee: str) -> ArcStats:
+        key = (caller, callee)
+        existing = caller_arcs.get(key)
+        if existing is None:
+            existing = ArcStats(caller=caller, callee=callee)
+            caller_arcs[key] = existing
+        return existing
+
+    parent_of: dict[int, str] = {}
+    for node in analysis.nodes():
+        for child in node.children:
+            parent_of[id(child)] = node.name
+
+    for node in analysis.nodes():
+        if node.synthetic:
+            continue
+        calls[node.name] += 1
+        net[node.name] += node.self_us
+        inclusive[node.name] += node.inclusive_us
+        caller = parent_of.get(id(node), SPONTANEOUS)
+        a = arc(caller, node.name)
+        a.calls += 1
+        a.inclusive_us += node.inclusive_us
+
+    entries: dict[str, GprofEntry] = {}
+    for name in calls:
+        entries[name] = GprofEntry(
+            name=name,
+            calls=calls[name],
+            net_us=net[name],
+            inclusive_us=inclusive[name],
+            callers=[a for a in caller_arcs.values() if a.callee == name],
+            callees=[
+                a
+                for a in caller_arcs.values()
+                if a.caller == name and a.callee in calls
+            ],
+        )
+    return GprofReport(entries=entries, wall_us=analysis.wall_us)

@@ -1,0 +1,127 @@
+"""Call graphs and subsystem groupings (the paper's future work).
+
+"Further work in this area hopefully will yield sophisticated tools that
+allow statistical processing of the data, groupings of functions into
+separate subsystems, and other ways to process the data."  Built on
+networkx: nodes are functions, edges are observed caller->callee
+relationships weighted by call count and by time transferred.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import networkx as nx
+
+from repro.analysis.callstack import CallTreeAnalysis
+
+
+def call_graph(analysis: CallTreeAnalysis) -> "nx.DiGraph":
+    """Build the dynamic call graph observed in the capture.
+
+    Node attributes: ``calls``, ``net_us``.  Edge attributes: ``calls``
+    (times the edge was traversed) and ``inclusive_us`` (total time spent
+    in the callee's subtree when entered from this caller).
+    """
+    graph = nx.DiGraph()
+    for node in analysis.nodes():
+        if node.synthetic:
+            continue
+        graph.add_node(node.name)
+        data = graph.nodes[node.name]
+        data["calls"] = data.get("calls", 0) + 1
+        data["net_us"] = data.get("net_us", 0) + node.self_us
+        for child in node.children:
+            if child.synthetic:
+                continue
+            if not graph.has_edge(node.name, child.name):
+                graph.add_edge(node.name, child.name, calls=0, inclusive_us=0)
+            edge = graph.edges[node.name, child.name]
+            edge["calls"] += 1
+            edge["inclusive_us"] += child.inclusive_us
+    return graph
+
+
+def subsystem_rollup(
+    analysis: CallTreeAnalysis,
+    subsystem_of: Mapping[str, str],
+    default: str = "other",
+) -> dict[str, dict[str, int]]:
+    """Group per-function net time into subsystems.
+
+    *subsystem_of* maps function names to subsystem labels (typically
+    derived from source-module paths, e.g. ``netinet/* -> "net"``).
+    Returns ``{subsystem: {"net_us": ..., "calls": ...}}``.
+    """
+    rollup: dict[str, dict[str, int]] = {}
+    for node in analysis.nodes():
+        if node.synthetic or node.is_swtch:
+            continue
+        label = subsystem_of.get(node.name, default)
+        bucket = rollup.setdefault(label, {"net_us": 0, "calls": 0})
+        bucket["net_us"] += node.self_us
+        bucket["calls"] += 1
+    return rollup
+
+
+def heaviest_paths(
+    graph: "nx.DiGraph", root: str, limit: int = 5
+) -> list[tuple[list[str], int]]:
+    """The *limit* heaviest simple call chains out of *root* by edge time.
+
+    A small illustrative analysis over the call graph: follow the largest
+    ``inclusive_us`` edge from each node (greedy), never revisiting a
+    node, and report the chains found from *root*'s successors.
+    """
+    if root not in graph:
+        raise KeyError(f"function {root!r} not in the call graph")
+    chains: list[tuple[list[str], int]] = []
+    for _, first, data in sorted(
+        graph.out_edges(root, data=True),
+        key=lambda e: -e[2]["inclusive_us"],
+    )[:limit]:
+        chain = [root, first]
+        weight = data["inclusive_us"]
+        seen = {root, first}
+        node = first
+        while True:
+            edges = [
+                (succ, d)
+                for _, succ, d in graph.out_edges(node, data=True)
+                if succ not in seen
+            ]
+            if not edges:
+                break
+            succ, d = max(edges, key=lambda e: e[1]["inclusive_us"])
+            chain.append(succ)
+            weight += d["inclusive_us"]
+            seen.add(succ)
+            node = succ
+        chains.append((chain, weight))
+    return chains
+
+
+def to_dot(graph: "nx.DiGraph", min_calls: int = 1) -> str:
+    """Render the call graph as Graphviz dot text."""
+    lines = ["digraph calls {"]
+    for name, data in graph.nodes(data=True):
+        lines.append(
+            f'  "{name}" [label="{name}\\n{data["calls"]} calls, '
+            f'{data["net_us"]} us"];'
+        )
+    for src, dst, data in graph.edges(data=True):
+        if data["calls"] < min_calls:
+            continue
+        lines.append(f'  "{src}" -> "{dst}" [label="{data["calls"]}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def idle_active_split(analysis: CallTreeAnalysis) -> dict[str, int]:
+    """The paper's headline CPU accounting, as a dict for tooling."""
+    return {
+        "wall_us": analysis.wall_us,
+        "busy_us": analysis.busy_us,
+        "idle_us": analysis.idle_us,
+        "unattributed_us": analysis.unattributed_us,
+    }

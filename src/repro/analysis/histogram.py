@@ -1,0 +1,93 @@
+"""Per-function time histograms (the paper's future work).
+
+"Much of the effort going into the Profiler now centres upon processing
+the raw data in many more useful ways, such as ... building histograms of
+the function time and usage for easy detection of bottlenecks."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+from repro.analysis.callstack import CallTreeAnalysis
+
+
+@dataclasses.dataclass
+class FunctionHistogram:
+    """Distribution of per-call inclusive times for one function."""
+
+    name: str
+    bucket_edges_us: tuple[int, ...]
+    counts: tuple[int, ...]
+    samples: int
+    min_us: int
+    max_us: int
+
+    def format(self, width: int = 40) -> str:
+        """ASCII rendering, one bar per bucket."""
+        out = [f"{self.name}: {self.samples} calls, {self.min_us}..{self.max_us} us"]
+        peak = max(self.counts) if self.counts else 0
+        for i, count in enumerate(self.counts):
+            lo = self.bucket_edges_us[i]
+            hi = self.bucket_edges_us[i + 1]
+            bar = "#" * (0 if peak == 0 else round(width * count / peak))
+            out.append(f"  [{lo:>8},{hi:>8}) {count:>6} {bar}")
+        return "\n".join(out)
+
+
+def _bucket_edges(lo: int, hi: int, buckets: int) -> tuple[int, ...]:
+    """Evenly spaced integer bucket edges covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1
+    step = max(1, math.ceil((hi - lo) / buckets))
+    edges = [lo + i * step for i in range(buckets)]
+    edges.append(max(hi + 1, edges[-1] + step))
+    return tuple(edges)
+
+
+def histogram_for(
+    analysis: CallTreeAnalysis,
+    name: str,
+    buckets: int = 10,
+    samples: Optional[Sequence[int]] = None,
+) -> FunctionHistogram:
+    """Histogram of per-call inclusive times for function *name*.
+
+    *samples* overrides extraction from the analysis (used by tests).
+    """
+    if buckets <= 0:
+        raise ValueError(f"bucket count must be positive, got {buckets}")
+    if samples is None:
+        samples = [
+            node.inclusive_us
+            for node in analysis.nodes_named(name)
+            if not node.synthetic
+        ]
+    values = list(samples)
+    if not values:
+        return FunctionHistogram(
+            name=name,
+            bucket_edges_us=(0, 1),
+            counts=(0,),
+            samples=0,
+            min_us=0,
+            max_us=0,
+        )
+    lo, hi = min(values), max(values)
+    edges = _bucket_edges(lo, hi, buckets)
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        for i in range(len(edges) - 1):
+            if edges[i] <= value < edges[i + 1]:
+                counts[i] += 1
+                break
+    return FunctionHistogram(
+        name=name,
+        bucket_edges_us=edges,
+        counts=tuple(counts),
+        samples=len(values),
+        min_us=lo,
+        max_us=hi,
+    )

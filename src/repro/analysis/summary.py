@@ -1,0 +1,187 @@
+"""The function-summary report (paper Figure 3 / Figure 5).
+
+For each function: accumulated elapsed (inclusive) time, net time
+("accumulated time minus the accumulated time of all subroutines that are
+called from this function"), call count, max/avg/min per-call elapsed, and
+the two percentages:
+
+* ``% real`` — net time over the absolute elapsed time of the entire run;
+* ``% net`` — net time over "the total time the processor was not sitting
+  in the idle loop".
+
+Headed by the overall accounting::
+
+    Elapsed time = 0 sec 497272 us (28060 tags)
+    Accumulated run time = 0 sec 492248 us (98.99%)
+    Idle time = 0 sec 5024 us ( 1.01%)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.analysis.callstack import CallTreeAnalysis, analyze_capture
+from repro.profiler.capture import Capture
+
+
+@dataclasses.dataclass
+class FunctionStats:
+    """Aggregated statistics for one function."""
+
+    name: str
+    calls: int
+    elapsed_us: int
+    net_us: int
+    max_us: int
+    min_us: int
+
+    @property
+    def avg_us(self) -> int:
+        """Mean per-call elapsed time (integer microseconds, as printed)."""
+        if self.calls == 0:
+            return 0
+        return self.elapsed_us // self.calls
+
+
+@dataclasses.dataclass
+class ProfileSummary:
+    """The complete summary: overall accounting plus per-function rows."""
+
+    wall_us: int
+    busy_us: int
+    idle_us: int
+    event_count: int
+    functions: dict[str, FunctionStats]
+
+    @property
+    def busy_fraction(self) -> float:
+        if self.wall_us == 0:
+            return 0.0
+        return self.busy_us / self.wall_us
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.wall_us == 0:
+            return 0.0
+        return self.idle_us / self.wall_us
+
+    def rows(self) -> list[FunctionStats]:
+        """Per-function rows sorted by net time, highest first — "sorted
+        by highest to lowest net CPU usage"."""
+        return sorted(
+            self.functions.values(), key=lambda s: (-s.net_us, s.name)
+        )
+
+    def pct_real(self, stats: FunctionStats) -> float:
+        """Net time as a share of the whole capture window."""
+        if self.wall_us == 0:
+            return 0.0
+        return 100.0 * stats.net_us / self.wall_us
+
+    def pct_net(self, stats: FunctionStats) -> float:
+        """Net time as a share of non-idle CPU time."""
+        if self.busy_us == 0:
+            return 0.0
+        return 100.0 * stats.net_us / self.busy_us
+
+    def top(self, n: int = 10) -> list[FunctionStats]:
+        """The *n* highest net-time functions."""
+        return self.rows()[:n]
+
+    def get(self, name: str) -> Optional[FunctionStats]:
+        """Stats for one function, or ``None`` if it never appeared."""
+        return self.functions.get(name)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the Figure 3 layout."""
+        out: list[str] = []
+        wall_s, wall_rem = divmod(self.wall_us, 1_000_000)
+        busy_s, busy_rem = divmod(self.busy_us, 1_000_000)
+        idle_s, idle_rem = divmod(self.idle_us, 1_000_000)
+        out.append(
+            f"Elapsed time = {wall_s} sec {wall_rem} us ({self.event_count} tags)"
+        )
+        out.append(
+            f"Accumulated run time = {busy_s} sec {busy_rem} us "
+            f"({100.0 * self.busy_fraction:.2f}%)"
+        )
+        out.append(
+            f"Idle time = {idle_s} sec {idle_rem} us "
+            f"({100.0 * self.idle_fraction:5.2f}%)"
+        )
+        out.append("-" * 72)
+        out.append(
+            f"{'Elapsed':>9} {'Net':>8} {'# calls':>9} {'(max/avg/min)':>17} "
+            f"{'% real':>8} {'% net':>7}   name"
+        )
+        rows = self.rows()
+        if limit is not None:
+            rows = rows[:limit]
+        for stats in rows:
+            triple = f"({stats.max_us}/{stats.avg_us}/{stats.min_us})"
+            out.append(
+                f"{stats.elapsed_us:>9} {stats.net_us:>8} {stats.calls:>9} "
+                f"{triple:>17} {self.pct_real(stats):>7.2f}% "
+                f"{self.pct_net(stats):>6.2f}%   {stats.name}"
+            )
+        return "\n".join(out)
+
+
+def summarize(
+    analysis: CallTreeAnalysis, include_swtch: bool = False
+) -> ProfileSummary:
+    """Aggregate a call-tree analysis into the function summary.
+
+    ``swtch`` (and any other ``!`` function) is excluded by default: its
+    self time is the idle loop, already reported in the header.
+    """
+    functions: dict[str, FunctionStats] = {}
+    for node in analysis.nodes():
+        if node.is_swtch and not include_swtch:
+            continue
+        if node.synthetic:
+            # A frame invented to absorb an unmatched exit has no reliable
+            # timing; count the call but no time.
+            stats = functions.get(node.name)
+            if stats is None:
+                functions[node.name] = FunctionStats(
+                    name=node.name,
+                    calls=1,
+                    elapsed_us=0,
+                    net_us=0,
+                    max_us=0,
+                    min_us=0,
+                )
+            else:
+                stats.calls += 1
+            continue
+        inclusive = node.inclusive_us
+        stats = functions.get(node.name)
+        if stats is None:
+            functions[node.name] = FunctionStats(
+                name=node.name,
+                calls=1,
+                elapsed_us=inclusive,
+                net_us=node.self_us,
+                max_us=inclusive,
+                min_us=inclusive,
+            )
+        else:
+            stats.calls += 1
+            stats.elapsed_us += inclusive
+            stats.net_us += node.self_us
+            stats.max_us = max(stats.max_us, inclusive)
+            stats.min_us = min(stats.min_us, inclusive)
+    return ProfileSummary(
+        wall_us=analysis.wall_us,
+        busy_us=analysis.busy_us,
+        idle_us=analysis.idle_us,
+        event_count=analysis.event_count,
+        functions=functions,
+    )
+
+
+def summarize_capture(capture: Capture) -> ProfileSummary:
+    """Decode, reconstruct and summarise *capture* in one call."""
+    return summarize(analyze_capture(capture))

@@ -1,0 +1,69 @@
+"""External benchmark timing — the black-box rejected method.
+
+"A more common approach is to measure the overall system performance by
+using an external benchmark package ... Whilst these are the ultimate in
+kernel measurement (by definition), they do not aid in discovering where
+optimisation should be employed, except perhaps in a general sense ('the
+network code needs to be faster...'. 'But where in the network code?')."
+
+An :class:`ExternalBenchmark` times a workload from the outside and
+reports throughput — deliberately nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass
+class BenchmarkRun:
+    """One timed run: bytes (or ops) over elapsed simulated time."""
+
+    label: str
+    work_units: int
+    unit: str
+    elapsed_us: int
+
+    @property
+    def per_second(self) -> float:
+        if self.elapsed_us == 0:
+            return 0.0
+        return self.work_units * 1_000_000 / self.elapsed_us
+
+    def format(self) -> str:
+        return (
+            f"{self.label}: {self.work_units} {self.unit} in "
+            f"{self.elapsed_us / 1_000:.1f} ms "
+            f"({self.per_second:,.0f} {self.unit}/s)"
+        )
+
+
+class ExternalBenchmark:
+    """Times workloads like ttcp/iozone would: wall clock in, wall clock out."""
+
+    def __init__(self, kernel: Any) -> None:
+        self.kernel = kernel
+        self.runs: list[BenchmarkRun] = []
+
+    def measure(
+        self,
+        label: str,
+        run: Callable[[], int],
+        unit: str = "bytes",
+    ) -> BenchmarkRun:
+        """Run the workload callable; it returns its work-unit count."""
+        start_us = self.kernel.now_us
+        work_units = run()
+        result = BenchmarkRun(
+            label=label,
+            work_units=work_units,
+            unit=unit,
+            elapsed_us=self.kernel.now_us - start_us,
+        )
+        self.runs.append(result)
+        return result
+
+    def report(self) -> str:
+        """Everything the method can say — note the absence of any 'where'."""
+        return "\n".join(run.format() for run in self.runs)

@@ -1,0 +1,142 @@
+"""kgmon-style sampled-PC kernel profiling — the rejected software method.
+
+The paper's critique, reproduced mechanically:
+
+* **granularity/overhead trade-off** — every sample is a real interrupt
+  that costs CPU ("the finer the granularity, the more time is spent
+  running the profiling clock and not actually running the kernel, which
+  may perturb the kernel's activity");
+* **clock-synchronised blindness** — the sampling interrupt obeys spl
+  masking, so code running at or above the sampler's priority is never
+  seen (the paper's "what happens if one wishes to profile the clock
+  interrupt code itself?"); a "psuedo-random or skewed clock" merely
+  mitigates the synchronisation, not the masking.
+
+The sampler piggy-backs on the machine's interrupt queue like any device,
+so the masking bias is real, and the per-sample overhead is charged to
+the simulated CPU, so the perturbation is measurable by differencing two
+otherwise identical runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any, Optional
+
+from repro.sim.devices import Device
+from repro.sim.engine import InterruptLine
+
+
+@dataclasses.dataclass
+class ClockProfile:
+    """The output of a sampled run."""
+
+    samples: Counter
+    sample_period_ns: int
+    overhead_ns: int
+    elapsed_ns: int
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def share(self, name: str) -> float:
+        """Estimated fraction of time in *name* (hits / total)."""
+        total = self.total_samples
+        if total == 0:
+            return 0.0
+        return self.samples.get(name, 0) / total
+
+    @property
+    def overhead_fraction(self) -> float:
+        """CPU time burned by the sampling itself."""
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.overhead_ns / self.elapsed_ns
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        return self.samples.most_common(n)
+
+
+class ClockProfiler(Device):
+    """A profiling clock: samples the running function at a fixed rate."""
+
+    name = "profclk"
+
+    def __init__(
+        self,
+        rate_hz: int = 1000,
+        sample_cost_ns: int = 18_000,
+        ipl: Optional[int] = None,
+        skew_ns: int = 0,
+    ) -> None:
+        """*rate_hz* sets granularity; *sample_cost_ns* is what each sample
+        steals (interrupt entry, PC bucket update, iret).  *skew_ns* adds a
+        deterministic phase creep per sample, modelling the paper's
+        "psuedo-random or skewed clock" refinement."""
+        super().__init__()
+        if rate_hz <= 0:
+            raise ValueError(f"sample rate must be positive, got {rate_hz}")
+        self.rate_hz = rate_hz
+        self.period_ns = 1_000_000_000 // rate_hz
+        self.sample_cost_ns = sample_cost_ns
+        self.ipl_override = ipl
+        self.skew_ns = skew_ns
+        self.kernel: Any = None
+        self.line: Optional[InterruptLine] = None
+        self.samples: Counter = Counter()
+        self.overhead_ns = 0
+        self._running = False
+        self._next_due = 0
+        self._skew_accum = 0
+
+    def attach(self, machine: Any) -> None:
+        super().attach(machine)
+        ipl = self.ipl_override if self.ipl_override is not None else machine.IPL_CLOCK
+        self.line = InterruptLine(irq=8, name="profclk", ipl=ipl, handler=self._fire)
+
+    def start(self, kernel: Any) -> None:
+        """Begin sampling *kernel*."""
+        machine = self._require_machine()
+        self.kernel = kernel
+        self.samples.clear()
+        self.overhead_ns = 0
+        self._running = True
+        self._next_due = machine.now_ns + self.period_ns
+        if self.line is None:
+            raise RuntimeError("profiling clock attached without a line")
+        machine.interrupts.post(self.line, self._next_due)
+
+    def stop(self) -> ClockProfile:
+        """Stop sampling and return the profile."""
+        machine = self._require_machine()
+        self._running = False
+        if self.line is not None:
+            machine.interrupts.cancel_line(self.line)
+        return ClockProfile(
+            samples=Counter(self.samples),
+            sample_period_ns=self.period_ns,
+            overhead_ns=self.overhead_ns,
+            elapsed_ns=machine.now_ns,
+        )
+
+    def _fire(self) -> None:
+        machine = self._require_machine()
+        if self._running and self.line is not None:
+            self._skew_accum += self.skew_ns
+            self._next_due += self.period_ns + (self._skew_accum % self.period_ns)
+            machine.interrupts.post(self.line, self._next_due)
+        if self.kernel is None:
+            return
+        # The sample: whatever is on the CPU right now.  The sampler
+        # itself arrives through ISAINTR, so skip our own dispatch frame
+        # (the innermost one only — deeper ISAINTR frames are real).
+        stack = list(self.kernel.kstack)
+        if stack and stack[-1] == "ISAINTR":
+            stack.pop()
+        name = stack[-1] if stack else self.kernel.current_function
+        self.samples[name] += 1
+        # The perturbation: each sample costs real CPU.
+        self.kernel.work(self.sample_cost_ns)
+        self.overhead_ns += self.sample_cost_ns

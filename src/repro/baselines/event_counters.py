@@ -1,0 +1,77 @@
+"""Kernel event-statistics counters — the coarsest rejected method.
+
+"Virtually all kernels keep event statistics and counters that allow a
+rough idea of the overall performance; these counters can be reset or
+logged at specific intervals ...  The main drawback to relying on event
+statistics is the poor granularity and lack of detail concerning where
+the kernel time is spent."
+
+The simulated kernel already keeps such counters (``Kernel.stats``); this
+module is the logging/differencing tool around them.  Note what the
+result *cannot* tell you: it has event counts and rates, but not one
+microsecond of attribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any
+
+
+@dataclasses.dataclass
+class EventCounterProfile:
+    """Counter deltas over an interval — counts, no time attribution."""
+
+    deltas: Counter
+    interval_us: int
+
+    def rate_per_second(self, name: str) -> float:
+        """Events per second for counter *name*."""
+        if self.interval_us == 0:
+            return 0.0
+        return self.deltas.get(name, 0) * 1_000_000 / self.interval_us
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        return self.deltas.most_common(n)
+
+    def format(self, limit: int = 15) -> str:
+        """A vmstat-style rendering."""
+        lines = [f"interval: {self.interval_us} us"]
+        for name, count in self.top(limit):
+            lines.append(
+                f"  {name:<24} {count:>10}  ({self.rate_per_second(name):>12.1f}/s)"
+            )
+        return "\n".join(lines)
+
+
+class snapshot_counters:
+    """Context manager: snapshot ``kernel.stats`` around a workload.
+
+    Usage::
+
+        with snapshot_counters(kernel) as snap:
+            run_workload()
+        profile = snap.profile
+    """
+
+    def __init__(self, kernel: Any) -> None:
+        self.kernel = kernel
+        self._before: Counter = Counter()
+        self._start_us = 0
+        self.profile: EventCounterProfile | None = None
+
+    def __enter__(self) -> "snapshot_counters":
+        self._before = Counter(self.kernel.stats)
+        self._start_us = self.kernel.now_us
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            return
+        after = Counter(self.kernel.stats)
+        after.subtract(self._before)
+        deltas = Counter({k: v for k, v in after.items() if v})
+        self.profile = EventCounterProfile(
+            deltas=deltas, interval_us=self.kernel.now_us - self._start_us
+        )

@@ -1,0 +1,61 @@
+"""The console: character output into ISA video RAM.
+
+Figure 5's footnote: "the bcopyb call relates to scrolling of the console
+screen, so it should be ignored for the purpose of the exercise" — at
+~3.6 ms per scroll (the whole 80x25 text buffer moves through the CPU a
+byte at a time), a chatty test program pollutes a profile noticeably.
+The console exists so that effect is reproducible (and ignorable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.kfunc import kfunc
+
+COLS = 80
+ROWS = 25
+#: Characters+attributes moved by one scroll: 24 lines of 80 cells x2.
+SCROLL_BYTES = COLS * (ROWS - 1) * 2
+
+
+class Console:
+    """Cursor state over the (simulated) CGA text buffer."""
+
+    def __init__(self, kernel: Any) -> None:
+        self.k = kernel
+        self.col = 0
+        self.row = ROWS - 1  # boot messages already filled the screen
+        self.scrolls = 0
+        #: Every character ever printed, for test assertions.
+        self.output: list[str] = []
+
+    def puts(self, text: str) -> None:
+        """Print a string through the costed putc path."""
+        for ch in text:
+            cnputc(self.k, self, ch)
+
+
+@kfunc(module="isa/cons", base_us=6.0)
+def cnputc(k, cons: Console, ch: str) -> None:
+    """Emit one character; scrolling costs a full-screen ``bcopyb``."""
+    from repro.kernel.libkern import bcopyb
+
+    cons.output.append(ch)
+    if ch == "\n":
+        cons.col = 0
+        if cons.row >= ROWS - 1:
+            bcopyb(k, SCROLL_BYTES)
+            cons.scrolls += 1
+        else:
+            cons.row += 1
+        return
+    k.work(1_200)  # one video-RAM word write
+    cons.col += 1
+    if cons.col >= COLS:
+        cons.col = 0
+        if cons.row >= ROWS - 1:
+            bcopyb(k, SCROLL_BYTES)
+            cons.scrolls += 1
+        else:
+            cons.row += 1

@@ -1,0 +1,160 @@
+"""The serial tty: character-input interrupts, line discipline, echo.
+
+The paper's motivating question — "What happens if you wish to measure
+the time taken to process character input interrupts?" — needs a tty to
+point the Profiler at.  This is an 8250-class UART on the ISA bus with
+the classic canonical-mode line discipline: every received character is
+one interrupt (``comintr``), flows through ``ttyinput`` (raw queue,
+erase/kill handling, echo) and wakes the reader at end of line; reads
+(``ttread``) sleep in canonical mode until a full line is buffered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.kernel.intr import IPL_TTY, spltty, splx
+from repro.kernel.kfunc import kfunc
+from repro.kernel.sched import tsleep, wakeup
+from repro.sim.devices import Device
+from repro.sim.engine import InterruptLine
+
+#: Erase and kill characters (the era's defaults).
+CERASE = 0x08  # backspace
+CKILL = 0x15  # ^U
+
+
+class ComPort(Device):
+    """The UART: receive FIFO of one, an interrupt per character."""
+
+    name = "com0"
+    IRQ = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.kernel: Any = None
+        self.tty: Optional["Tty"] = None
+        #: Characters scheduled to arrive, as (at_ns, byte).
+        self._arrivals: list[tuple[int, int]] = []
+        self.rx_overruns = 0
+        self._rx_holding: Optional[int] = None
+        self._rx_holding_since = 0
+        self.tx_chars = 0
+
+    def attach(self, machine: Any) -> None:
+        super().attach(machine)
+        self.line = InterruptLine(
+            irq=self.IRQ, name="com0", ipl=IPL_TTY, handler=self._intr
+        )
+
+    def type_text(self, text: str, start_ns: int, char_gap_ns: int = 9_000_000) -> int:
+        """A human (or a paste) types *text*; returns the last arrival time.
+
+        The default gap is ~110 characters/second — a fast typist burst;
+        pass ~870_000 ns for a 9600-baud paste.
+        """
+        machine = self._require_machine()
+        cursor = start_ns
+        for ch in text:
+            self._arrivals.append((cursor, ord(ch) & 0xFF))
+            machine.interrupts.post(self.line, cursor)
+            cursor += char_gap_ns
+        return cursor
+
+    def _intr(self) -> None:
+        if self.kernel is None:
+            raise RuntimeError("com0 interrupt before the kernel booted")
+        comintr(self.kernel, self)
+
+    def take_arrived(self, now_ns: int) -> list[int]:
+        """Characters that have landed by *now_ns* (overruns counted).
+
+        The 8250 has a one-byte holding register: if more than one byte
+        arrived since the last service, the earlier ones are lost.
+        """
+        arrived = [b for at, b in self._arrivals if at <= now_ns]
+        self._arrivals = [(at, b) for at, b in self._arrivals if at > now_ns]
+        if len(arrived) > 1:
+            self.rx_overruns += len(arrived) - 1
+            arrived = arrived[-1:]
+        return arrived
+
+    def transmit(self, ch: int) -> None:
+        """Echo path: one byte out of the TX register."""
+        self.tx_chars += 1
+
+
+class Tty:
+    """Line-discipline state for one port."""
+
+    def __init__(self, port: ComPort) -> None:
+        self.port = port
+        port.tty = self
+        #: Raw queue: the line being typed.
+        self.rawq: list[int] = []
+        #: Canonical queue: completed lines awaiting readers.
+        self.canq: list[bytes] = []
+        self.echo = True
+
+    def chan(self) -> tuple:
+        return ("ttyin", id(self))
+
+
+@kfunc(module="isa/com", base_us=16.0)
+def comintr(k, port: ComPort) -> None:
+    """The UART interrupt: read LSR/RBR over the ISA bus, hand up."""
+    k.work(6_000)  # inb of LSR + RBR + IIR
+    for ch in port.take_arrived(k.machine.now_ns):
+        if port.tty is not None:
+            ttyinput(k, port.tty, ch)
+
+
+@kfunc(module="kern/tty", base_us=12.0)
+def ttyinput(k, tty: Tty, ch: int) -> None:
+    """Canonical-mode input processing for one character."""
+    if ch == CERASE:
+        if tty.rawq:
+            tty.rawq.pop()
+            if tty.echo:
+                ttyoutput(k, tty, CERASE)
+        return
+    if ch == CKILL:
+        tty.rawq.clear()
+        if tty.echo:
+            ttyoutput(k, tty, ord("\n"))
+        return
+    tty.rawq.append(ch)
+    if tty.echo:
+        ttyoutput(k, tty, ch)
+    if ch in (ord("\n"), ord("\r")):
+        line = bytes(tty.rawq)
+        tty.rawq.clear()
+        s = spltty(k)
+        tty.canq.append(line)
+        splx(k, s)
+        wakeup(k, tty.chan())
+        k.stat("tty_lines", 1)
+    k.stat("tty_chars_in", 1)
+
+
+@kfunc(module="kern/tty", base_us=9.0)
+def ttyoutput(k, tty: Tty, ch: int) -> None:
+    """Echo one character out the transmitter."""
+    k.work(4_000)  # LSR poll + THR write over the ISA bus
+    tty.port.transmit(ch)
+    k.stat("tty_chars_out", 1)
+
+
+@kfunc(module="kern/tty", base_us=20.0, can_sleep=True)
+def ttread(k, tty: Tty, length: int):
+    """Canonical read: sleep until a full line is available."""
+    from repro.kernel.libkern import copyout
+
+    s = spltty(k)
+    while not tty.canq:
+        yield from tsleep(k, tty.chan(), wmesg="ttyin")
+    line = tty.canq.pop(0)
+    splx(k, s)
+    take = line[:length]
+    copyout(k, len(take), take)
+    return bytes(take)

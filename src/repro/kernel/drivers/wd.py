@@ -1,0 +1,256 @@
+"""The IDE disk driver (``wd``) and the Seagate ST3144 it talks to.
+
+Paper calibration (§Filesystems): "Each read of the disc varied from 18
+milliseconds up to 26 milliseconds.  Each write interrupt took about 200
+microseconds in total, with about 149 microseconds of that being actual
+transfer time of the data to the controller.  Interrupts seemed to be
+close together most of the time (< 100 microseconds)".
+
+The drive is programmed-I/O: every 512-byte sector crosses the 16-bit ISA
+bus through the CPU, one interrupt per sector — which is exactly why the
+write interrupts come so thick and why the paper muses about a DMA
+controller.  The seek/rotation model is deterministic (position-hashed
+rotational phase) so runs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.kernel.intr import IPL_BIO
+from repro.kernel.kfunc import kfunc
+from repro.sim.bus import Region
+from repro.sim.devices import Device
+from repro.sim.engine import InterruptLine
+
+SECTOR_BYTES = 512
+#: Buffer-cache block: 16 sectors (8 KB FFS blocks).
+SECTORS_PER_BLOCK = 16
+
+#: ST3144-ish geometry/timing.
+SECTORS_PER_CYL = 512
+ROTATION_NS = 16_600_000  # 3600 rpm
+SEEK_BASE_NS = 3_000_000
+SEEK_PER_CYL_NS = 26_000
+SEEK_MAX_NS = 24_000_000
+#: Controller inter-sector readiness gap.
+SECTOR_GAP_NS = 65_000
+#: Read retries before a media error is reported up (the era's RETRIES).
+WD_RETRIES = 3
+#: Recalibrate + head-settle time after an error.
+RECAL_NS = 8_000_000
+
+
+class WdDisk(Device):
+    """The drive + controller: sector store, request queue, IRQ timing."""
+
+    name = "wd0"
+    IRQ = 14
+
+    def __init__(self, total_sectors: int = 260_000) -> None:
+        super().__init__()
+        self.total_sectors = total_sectors
+        #: The platter: sector number -> 512 real bytes.
+        self.sectors: dict[int, bytes] = {}
+        self.line: Optional[InterruptLine] = None
+        self.kernel: Any = None
+        #: Queued buffers awaiting service (disksort order is FIFO here).
+        self.queue: list[Any] = []
+        #: The in-flight transfer, if any.
+        self.active: Optional[dict] = None
+        self.current_cyl = 0
+        self.reads = 0
+        self.writes = 0
+        #: Sectors that fail with a media error when read.
+        self.bad_sectors: set[int] = set()
+        #: Read retries performed (the driver retries before giving up).
+        self.retries = 0
+
+    def attach(self, machine: Any) -> None:
+        super().attach(machine)
+        self.line = InterruptLine(
+            irq=self.IRQ, name="wd0", ipl=IPL_BIO, handler=self._intr
+        )
+
+    # -- mechanical model ------------------------------------------------------
+
+    def seek_ns(self, sector: int) -> int:
+        """Seek time from the current cylinder to *sector*'s cylinder."""
+        target_cyl = sector // SECTORS_PER_CYL
+        distance = abs(target_cyl - self.current_cyl)
+        self.current_cyl = target_cyl
+        if distance == 0:
+            return 0
+        return min(SEEK_MAX_NS, SEEK_BASE_NS + distance * SEEK_PER_CYL_NS)
+
+    @staticmethod
+    def rotation_ns(sector: int) -> int:
+        """Deterministic rotational latency: phase hashed from the sector."""
+        return ((sector * 7919) % 100) * ROTATION_NS // 100
+
+    def read_sector(self, sector: int) -> bytes:
+        """The platter's content (zeros when never written)."""
+        return self.sectors.get(sector, bytes(SECTOR_BYTES))
+
+    def inject_error(self, sector: int) -> None:
+        """Mark *sector* as a media error (failure-injection hook)."""
+        self.bad_sectors.add(sector)
+
+    def repair(self, sector: int) -> None:
+        """Clear an injected error (e.g. after a successful rewrite)."""
+        self.bad_sectors.discard(sector)
+
+    def write_sector(self, sector: int, data: bytes) -> None:
+        if len(data) != SECTOR_BYTES:
+            raise ValueError(f"sector write of {len(data)} bytes")
+        self.sectors[sector] = data
+
+    def _intr(self) -> None:
+        if self.kernel is None:
+            raise RuntimeError("wd0 interrupt before the kernel booted")
+        wdintr(self.kernel, self)
+
+    def _post(self, delay_ns: int) -> None:
+        machine = self._require_machine()
+        if self.line is None:
+            raise RuntimeError("wd0 has no interrupt line (not attached)")
+        machine.interrupts.post(self.line, machine.now_ns + delay_ns)
+
+
+def _disksort_insert(wd: WdDisk, buf: Any) -> int:
+    """Elevator insertion: one ascending sweep from the current head.
+
+    The classic ``disksort()``: requests at or beyond the head position
+    stay in ascending block order; requests behind the head go into a
+    second ascending run served after the sweep wraps.  Returns the
+    insertion index (for cost accounting).
+    """
+    head_blk = wd.current_cyl * SECTORS_PER_CYL // SECTORS_PER_BLOCK
+
+    def sort_key(entry: Any) -> tuple[int, int]:
+        ahead = 0 if entry.blkno >= head_blk else 1
+        return (ahead, entry.blkno)
+
+    key = sort_key(buf)
+    index = 0
+    for index, queued in enumerate(wd.queue):
+        if sort_key(queued) > key:
+            wd.queue.insert(index, buf)
+            return index
+    wd.queue.append(buf)
+    return len(wd.queue) - 1
+
+
+@kfunc(module="isa/wd", base_us=20.0)
+def wdstrategy(k, wd: WdDisk, buf: Any) -> None:
+    """Queue a buffer for I/O (elevator order) and start if idle."""
+    from repro.kernel.intr import splbio, splx
+
+    s = splbio(k)
+    _disksort_insert(wd, buf)
+    k.work(len(wd.queue) * 800)  # disksort insertion walk
+    splx(k, s)
+    wdstart(k, wd)
+
+
+@kfunc(module="isa/wd", base_us=16.0)
+def wdstart(k, wd: WdDisk) -> None:
+    """Program the controller for the next queued transfer.
+
+    For a write the CPU pushes the first sector across the ISA bus right
+    here; for a read the heads move first and the data comes back sector
+    by sector through ``wdintr``.
+    """
+    from repro.kernel.libkern import bcopy
+
+    if wd.active is not None or not wd.queue:
+        return
+    buf = wd.queue.pop(0)
+    first_sector = buf.blkno * SECTORS_PER_BLOCK
+    nsectors = (len(buf.data) + SECTOR_BYTES - 1) // SECTOR_BYTES
+    wd.active = {
+        "buf": buf,
+        "sector": first_sector,
+        "done": 0,
+        "count": nsectors,
+        "errors": 0,
+    }
+    k.work(14_000)  # task-file register programming (outb over ISA)
+    mechanical = wd.seek_ns(first_sector) + wd.rotation_ns(first_sector)
+    if buf.is_write:
+        # Push the first sector into the controller buffer now.
+        bcopy(k, SECTOR_BYTES, src=Region.MAIN, dst=Region.ISA16)
+        wd._post(mechanical + SECTOR_GAP_NS)
+    else:
+        wd._post(mechanical + SECTOR_GAP_NS)
+
+
+@kfunc(module="isa/wd", base_us=14.0)
+def wdintr(k, wd: WdDisk) -> None:
+    """Per-sector interrupt: move 512 bytes, continue or complete.
+
+    The handler brackets its controller/queue manipulation with an spl
+    pair, as the era's drivers did defensively — one reason the paper's
+    disk-write profile still shows a visible spl* share.
+    """
+    from repro.kernel.fs.buf import biodone
+    from repro.kernel.intr import splbio, splx
+    from repro.kernel.libkern import bcopy
+
+    s = splbio(k)
+    transfer = wd.active
+    if transfer is None:
+        k.stat("wd_stray_intr", 1)
+        splx(k, s)
+        return
+    buf = transfer["buf"]
+    index = transfer["done"]
+    sector = transfer["sector"] + index
+    offset = index * SECTOR_BYTES
+    if not buf.is_write and sector in wd.bad_sectors:
+        # Media error: the controller reports it in the status register.
+        transfer["errors"] += 1
+        k.work(9_000)  # error-status read + recalibrate command
+        k.stat("wd_errors", 1)
+        if transfer["errors"] <= WD_RETRIES:
+            wd.retries += 1
+            # Retry the same sector after a recalibrate+settle delay.
+            wd._post(RECAL_NS + wd.rotation_ns(sector))
+            splx(k, s)
+            return
+        # Hard failure: complete the transfer with the error flag set.
+        buf.error = True
+        wd.active = None
+        biodone(k, buf)
+        splx(k, s)
+        if wd.queue:
+            wdstart(k, wd)
+        return
+    if buf.is_write:
+        # The sector we loaded last time has hit the platter; write it
+        # through to the image and push the next one.
+        chunk = bytes(buf.data[offset : offset + SECTOR_BYTES]).ljust(
+            SECTOR_BYTES, b"\x00"
+        )
+        wd.write_sector(sector, chunk)
+        wd.writes += 1
+    else:
+        # PIO-read the ready sector out of the controller.
+        bcopy(k, SECTOR_BYTES, src=Region.ISA16, dst=Region.MAIN)
+        chunk = wd.read_sector(sector)
+        buf.data[offset : offset + SECTOR_BYTES] = chunk
+        wd.reads += 1
+    transfer["done"] += 1
+    if transfer["done"] < transfer["count"]:
+        if buf.is_write:
+            next_off = transfer["done"] * SECTOR_BYTES
+            pushed = len(buf.data[next_off : next_off + SECTOR_BYTES])
+            bcopy(k, max(pushed, SECTOR_BYTES), src=Region.MAIN, dst=Region.ISA16)
+        wd._post(SECTOR_GAP_NS)
+        splx(k, s)
+        return
+    wd.active = None
+    biodone(k, buf)
+    splx(k, s)
+    if wd.queue:
+        wdstart(k, wd)

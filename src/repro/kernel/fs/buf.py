@@ -1,0 +1,199 @@
+"""The buffer cache (``vfs_bio``): bread/bwrite/getblk and friends.
+
+Blocks are 8 KB (the FFS block size); buffers carry real data bytes that
+round-trip through the IDE driver's sector store.  Synchronous I/O sleeps
+in ``biowait`` and is woken by ``biodone`` from the disk interrupt, with
+``splbio`` protecting the done flag — the structure behind the paper's
+disk-write profile.
+
+Two distinct states matter and are kept separate (conflating them is a
+classic data-corruption bug): ``valid`` says the buffer's bytes are
+meaningful (filled by a completed read *or* by a writer), while ``done``
+tracks only the completion of the current I/O.  A valid buffer is never
+re-read from the platter — that would destroy a write still queued
+behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.kernel.intr import splbio, splx
+from repro.kernel.kfunc import kfunc
+from repro.kernel.sched import tsleep, wakeup
+
+BLOCK_BYTES = 8192
+
+
+class Buf:
+    """One cache buffer."""
+
+    def __init__(self, key: tuple, blkno: int) -> None:
+        self.key = key
+        #: Physical block number on the disk (block-sized units).
+        self.blkno = blkno
+        self.data = bytearray(BLOCK_BYTES)
+        #: The bytes are meaningful (cache-hit eligible).
+        self.valid = False
+        #: The current I/O has completed (biowait/biodone handshake).
+        self.done = False
+        self.delwri = False
+        self.is_write = False
+        self.busy = False
+        #: The last I/O failed (media error after the driver's retries).
+        self.error = False
+
+    def mark_valid(self) -> None:
+        """Writers call this after filling ``data``."""
+        self.valid = True
+
+    def chan(self) -> tuple:
+        return ("buf", id(self))
+
+
+class BufferCache:
+    """A fixed population of buffers with LRU reuse."""
+
+    NBUF = 64
+
+    def __init__(self, kernel: Any) -> None:
+        self.k = kernel
+        self.bufs: dict[tuple, Buf] = {}
+        self.lru: list[tuple] = []
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> Optional[Buf]:
+        buf = self.bufs.get(key)
+        if buf is not None:
+            self.lru.remove(key)
+            self.lru.append(key)
+        return buf
+
+    def insert(self, key: tuple, buf: Buf) -> Optional[Buf]:
+        """Add a buffer; returns an evicted dirty buffer needing writeback."""
+        evicted: Optional[Buf] = None
+        if len(self.bufs) >= self.NBUF:
+            for victim_key in list(self.lru):
+                victim = self.bufs[victim_key]
+                if not victim.busy:
+                    self.lru.remove(victim_key)
+                    del self.bufs[victim_key]
+                    if victim.delwri:
+                        evicted = victim
+                    break
+        self.bufs[key] = buf
+        self.lru.append(key)
+        return evicted
+
+    def dirty_buffers(self) -> list[Buf]:
+        return [b for b in self.bufs.values() if b.delwri]
+
+
+@kfunc(module="kern/vfs_bio", base_us=24.0, can_sleep=True)
+def getblk(k, disk: Any, blkno: int):
+    """Get the buffer for *blkno*, allocating (and evicting) as needed."""
+    cache: BufferCache = k.filesystem.cache
+    key = (id(disk), blkno)
+    s = splbio(k)
+    buf = cache.lookup(key)
+    if buf is not None:
+        cache.hits += 1
+        splx(k, s)
+        return buf
+    cache.misses += 1
+    buf = Buf(key=key, blkno=blkno)
+    evicted = cache.insert(key, buf)
+    splx(k, s)
+    if evicted is not None:
+        # Writeback of a delayed-write victim before reuse.
+        yield from bwrite(k, disk, evicted)
+    return buf
+
+
+@kfunc(module="kern/vfs_bio", base_us=30.0, can_sleep=True)
+def bread(k, disk: Any, blkno: int):
+    """Read a block through the cache; returns its buffer."""
+    from repro.kernel.drivers.wd import wdstrategy
+
+    buf = yield from getblk(k, disk, blkno)
+    if buf.valid:
+        return buf
+    buf.is_write = False
+    buf.busy = True
+    buf.done = False
+    buf.error = False
+    wdstrategy(k, disk, buf)
+    yield from biowait(k, buf)
+    buf.busy = False
+    if buf.error:
+        # Do not cache a failed read: evict so a later retry hits the
+        # platter again.
+        cache = k.filesystem.cache
+        cache.bufs.pop(buf.key, None)
+        if buf.key in cache.lru:
+            cache.lru.remove(buf.key)
+        raise IOError(f"EIO: hard read error at block {buf.blkno}")
+    buf.valid = True
+    return buf
+
+
+@kfunc(module="kern/vfs_bio", base_us=26.0, can_sleep=True)
+def bwrite(k, disk: Any, buf: Buf):
+    """Synchronous write: start the I/O and wait for completion."""
+    from repro.kernel.drivers.wd import wdstrategy
+
+    buf.mark_valid()
+    buf.is_write = True
+    buf.delwri = False
+    buf.busy = True
+    buf.done = False
+    wdstrategy(k, disk, buf)
+    yield from biowait(k, buf)
+    buf.busy = False
+    buf.is_write = False
+    return buf
+
+
+@kfunc(module="kern/vfs_bio", base_us=22.0)
+def bawrite(k, disk: Any, buf: Buf) -> None:
+    """Asynchronous write: start the I/O, do not wait."""
+    from repro.kernel.drivers.wd import wdstrategy
+
+    s = splbio(k)
+    buf.mark_valid()
+    buf.is_write = True
+    buf.delwri = False
+    buf.busy = True
+    buf.done = False
+    splx(k, s)
+    wdstrategy(k, disk, buf)
+
+
+@kfunc(module="kern/vfs_bio", base_us=12.0)
+def bdwrite(k, buf: Buf) -> None:
+    """Delayed write: mark dirty, write when evicted or flushed."""
+    s = splbio(k)
+    buf.mark_valid()
+    buf.delwri = True
+    splx(k, s)
+
+
+@kfunc(module="kern/vfs_bio", base_us=8.0, can_sleep=True)
+def biowait(k, buf: Buf):
+    """Sleep until the driver signals completion."""
+    s = splbio(k)
+    while not buf.done:
+        yield from tsleep(k, buf.chan(), wmesg="biowait")
+    splx(k, s)
+
+
+@kfunc(module="kern/vfs_bio", base_us=10.0)
+def biodone(k, buf: Buf) -> None:
+    """I/O completion (called from the disk interrupt)."""
+    s = splbio(k)
+    buf.done = True
+    if buf.is_write:
+        buf.busy = False
+    wakeup(k, buf.chan())
+    splx(k, s)

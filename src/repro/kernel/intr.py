@@ -1,0 +1,120 @@
+"""spl interrupt-priority levels and the ISA interrupt machinery.
+
+The paper's "grossest area of mismatch between the hardware architecture
+and UNIX": the 386/ISA platform has no processor priority levels and no
+Asynchronous System Traps, so 386BSD synthesises both in software —
+``spl*`` reprogram the 8259 interrupt-controller masks (expensive: the
+paper measures ~11 us per ``splnet`` call and 9% of total CPU in ``spl*``
+during the network test), and the interrupt epilogue emulates software
+interrupts at ~24 us per hardware interrupt.
+
+All of that is modelled here: raising spl masks lower-priority lines
+(they stay *pending* in the machine's interrupt queue), lowering spl
+delivers whatever was held off, and the dispatch path (driven by
+``Kernel._dispatch``) wraps every delivery in the ``ISAINTR`` assembler
+frame with the AST-emulation cost in its tail.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kfunc import kfunc, register_asm
+from repro.sim.machine import Machine
+
+# Interrupt priority levels, re-exported from the machine for kernel code.
+IPL_NONE = Machine.IPL_NONE
+IPL_SOFTCLOCK = Machine.IPL_SOFTCLOCK
+IPL_NET = Machine.IPL_NET
+IPL_BIO = Machine.IPL_BIO
+IPL_TTY = Machine.IPL_TTY
+IPL_CLOCK = Machine.IPL_CLOCK
+IPL_HIGH = Machine.IPL_HIGH
+
+#: The common interrupt entry stub (one per IRQ vector in the real
+#: kernel; the case study tagged it as one assembler routine).
+ISAINTR_META = register_asm("ISAINTR", module="i386/isa/vector", base_us=7.0)
+
+
+def _raise_level(k, level: int) -> int:
+    """Common body of the level-raising spl functions.
+
+    The real routines reprogram both 8259 mask registers unconditionally
+    — they do not check whether the level actually rises — which is why
+    every call costs ~10 us on this hardware.
+    """
+    old = k.ipl
+    if level > old:
+        k.ipl = level
+    # The mask is raised before any time is charged: the real routines
+    # lead with CLI/mask writes, so nothing can sneak in mid-raise.
+    # Cost: two PIC mask writes plus the flag save/restore around them,
+    # all scaling with the platform's mask-update cost (a 68020 does the
+    # whole job with one move-to-SR).
+    k.work(2 * k.cost.spl_mask_update_ns + k.cost.spl_mask_update_ns // 2)
+    return old
+
+
+@kfunc(module="i386/isa/icu", base_us=0.0, is_asm=True)
+def splnet(k) -> int:
+    """Block network-device and software-network interrupts."""
+    return _raise_level(k, IPL_NET)
+
+
+@kfunc(module="i386/isa/icu", base_us=0.0, is_asm=True)
+def splbio(k) -> int:
+    """Block disk interrupts."""
+    return _raise_level(k, IPL_BIO)
+
+
+@kfunc(module="i386/isa/icu", base_us=0.0, is_asm=True)
+def spltty(k) -> int:
+    """Block terminal interrupts."""
+    return _raise_level(k, IPL_TTY)
+
+
+@kfunc(module="i386/isa/icu", base_us=0.0, is_asm=True)
+def splclock(k) -> int:
+    """Block the clock interrupt."""
+    return _raise_level(k, IPL_CLOCK)
+
+
+@kfunc(module="i386/isa/icu", base_us=0.0, is_asm=True)
+def splhigh(k) -> int:
+    """Block everything."""
+    return _raise_level(k, IPL_HIGH)
+
+
+@kfunc(module="i386/isa/icu", base_us=0.0, is_asm=True)
+def splsoftclock(k) -> int:
+    """Block only the softclock software interrupt."""
+    return _raise_level(k, IPL_SOFTCLOCK)
+
+
+@kfunc(module="i386/isa/icu", base_us=0.8, is_asm=True)
+def splx(k, level: int) -> None:
+    """Restore a saved interrupt level.
+
+    Cheap when the level does not drop (a register move); when it does
+    drop, any interrupts held pending by the mask are delivered here —
+    which is why ``splx`` time varies in the paper's traces.
+    """
+    if level < 0 or level > IPL_HIGH:
+        raise ValueError(f"bad spl level {level}")
+    dropped = level < k.ipl
+    k.ipl = level
+    if dropped:
+        k.work(k.cost.spl_mask_update_ns)
+        k.check_interrupts()
+        k.run_soft_interrupts()
+
+
+@kfunc(module="i386/isa/icu", base_us=14.0, is_asm=True)
+def spl0(k) -> None:
+    """Drop to level 0 and process everything that was held off.
+
+    The paper measures ``spl0`` at ~21-25 us: unlike ``splx`` it always
+    unmasks both PICs and polls the software-interrupt word.
+    """
+    k.ipl = IPL_NONE
+    k.work(2 * k.cost.spl_mask_update_ns)
+    k.check_interrupts()
+    k.run_soft_interrupts()

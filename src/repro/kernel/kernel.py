@@ -1,0 +1,317 @@
+"""The kernel object: execution context, interrupt dispatch, boot.
+
+One :class:`Kernel` instance runs on one :class:`~repro.sim.machine.Machine`.
+It owns the pieces every subsystem shares:
+
+* the **execution context** — ``enter``/``leave`` charge function costs
+  and emit the Profiler triggers for instrumented functions; ``advance``
+  moves simulated time and delivers due, unmasked interrupts *into the
+  middle of whatever is running*, which is how interrupt frames come to
+  nest inside the interrupted function in the captured traces;
+* the **spl state** and the software-interrupt (netisr/softclock) word the
+  386 has to emulate;
+* the **profile map** installed by the instrumentation pass and the
+  physical EPROM-window base the triggers read through;
+* **boot** — device autoconfiguration and subsystem initialisation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Optional
+
+from repro.kernel.intr import IPL_NET, IPL_SOFTCLOCK, ISAINTR_META
+from repro.kernel.kfunc import KFuncMeta
+from repro.kernel.malloc import KernelAllocator
+from repro.kernel.sched import Scheduler
+from repro.sim.engine import InterruptLine
+from repro.sim.machine import Machine
+
+
+class KernelConfigError(Exception):
+    """The kernel is wired inconsistently (e.g. triggers with no board)."""
+
+
+class Kernel:
+    """A miniature 386BSD kernel bound to a simulated machine."""
+
+    def __init__(self, machine: Optional[Machine] = None) -> None:
+        self.machine = machine if machine is not None else Machine()
+        self.cost = self.machine.cpu.model
+        self.bus = self.machine.bus
+
+        # -- execution context -------------------------------------------
+        #: Current interrupt priority level (spl).
+        self.ipl = 0
+        #: Clock ticks since boot.
+        self.ticks = 0
+        #: Pending callouts, ordered by due tick.
+        self.callouts: list[Any] = []
+        self.sched = Scheduler(self)
+        self.kmem = KernelAllocator()
+        self.stats: Counter = Counter()
+
+        # -- software interrupts (the emulated ASTs) ----------------------
+        self._soft_pending: set[str] = set()
+        self._soft_table: list[tuple[str, int, Callable[[], None]]] = []
+        self._in_soft = False
+
+        #: Shadow call stack of kernel-function names (innermost last).
+        #: Maintained for the software-baseline profilers and debugging;
+        #: the Profiler hardware never reads it.
+        self.kstack: list[str] = []
+
+        # -- profiling hookup ---------------------------------------------
+        #: Function name -> entry tag value (exit tag is +1).
+        self._entry_tags: dict[str, int] = {}
+        #: Inline-point name -> tag value.
+        self._inline_tags: dict[str, int] = {}
+        #: Physical address of the Profiler's EPROM window, once attached.
+        self.profile_base_phys: Optional[int] = None
+
+        # -- subsystems, attached at boot ----------------------------------
+        self.booted = False
+        self.devices: dict[str, Any] = {}
+        self.netstack: Any = None
+        self.filesystem: Any = None
+        self.console: Any = None
+        #: Global UDP checksum switch ("UDP checksums are usually turned
+        #: off with NFS" — the paper's NFS-beats-FTP observation).
+        self.udpcksum = False
+
+    # ------------------------------------------------------------------
+    # Execution context
+    # ------------------------------------------------------------------
+
+    def work(self, ns: int | float) -> None:
+        """Charge *ns* nanoseconds of CPU work (interruptible)."""
+        self.advance(int(ns))
+
+    def advance(self, delta_ns: int) -> None:
+        """Advance simulated time, delivering due unmasked interrupts.
+
+        The running code needs *delta_ns* of CPU; interrupts steal wall
+        time on top of that, exactly as on hardware.
+        """
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance by negative {delta_ns} ns")
+        clock = self.machine.clock
+        interrupts = self.machine.interrupts
+        remaining = delta_ns
+        while True:
+            now = clock.now_ns
+            due = interrupts.next_due_ns(self.ipl)
+            if due is None or due > now + remaining:
+                break
+            step = max(0, due - now)
+            clock.tick(step)
+            remaining -= step
+            pending = interrupts.pop_due(clock.now_ns, self.ipl)
+            if pending is not None:
+                self._dispatch(pending.line)
+        clock.tick(remaining)
+
+    def check_interrupts(self) -> None:
+        """Deliver anything already due and unmasked (spl-lowering path)."""
+        self.advance(0)
+
+    def _dispatch(self, line: InterruptLine) -> None:
+        """One hardware interrupt: the ISAINTR frame around the handler.
+
+        The epilogue carries the paper's two 386-specific costs: the 8259
+        EOI and the ~24 us software-interrupt/AST emulation, and runs any
+        requested software interrupts (netisr, softclock) before the
+        frame closes — which is why ``ipintr`` nests inside ``ISAINTR``
+        in Figure 4.
+        """
+        self.stat("intr", 1)
+        saved_ipl = self.ipl
+        raised_ipl = max(saved_ipl, line.ipl)
+        self.ipl = raised_ipl
+        self.enter(ISAINTR_META)
+        try:
+            line.handler()
+            self.work(2_000)  # EOI to the 8259s
+            self.work(self.cost.ast_emulation_ns)
+            self.ipl = saved_ipl
+            self.run_soft_interrupts()
+        finally:
+            # Mask our own level through the epilogue: a back-to-back
+            # interrupt of the same priority is taken after the iret (the
+            # caller's advance loop delivers it iteratively), not nested
+            # inside our exit path — unbounded same-level nesting is a
+            # stack overflow on real hardware too.
+            self.ipl = raised_ipl
+            self.leave(ISAINTR_META)
+            self.ipl = saved_ipl
+
+    # -- function entry/exit ----------------------------------------------
+
+    def enter(self, meta: KFuncMeta) -> None:
+        """Function prologue: call overhead, entry trigger, base cost."""
+        self.work(self.cost.call_ns)
+        tag = self._entry_tags.get(meta.name)
+        if tag is not None:
+            self._trigger(tag)
+        self.kstack.append(meta.name)
+        if meta.base_ns:
+            self.work(meta.base_ns)
+
+    def leave(self, meta: KFuncMeta) -> None:
+        """Function epilogue: exit trigger."""
+        tag = self._entry_tags.get(meta.name)
+        if tag is not None:
+            self._trigger(tag + 1)
+        if self.kstack and self.kstack[-1] == meta.name:
+            self.kstack.pop()
+
+    @property
+    def current_function(self) -> str:
+        """Innermost kernel function, or the execution mode when outside one."""
+        if self.kstack:
+            return self.kstack[-1]
+        if self.sched.idling:
+            return "<idle>"
+        return "<user>"
+
+    def inline_trigger(self, name: str) -> None:
+        """A hand-placed ``=`` trigger (e.g. the ``MGET`` macro)."""
+        tag = self._inline_tags.get(name)
+        if tag is not None:
+            self._trigger(tag)
+
+    def _trigger(self, tag_value: int) -> None:
+        """Execute one ``movb _ProfileBase+tag`` trigger instruction."""
+        if self.profile_base_phys is None:
+            raise KernelConfigError(
+                "kernel was compiled with profiling triggers but no "
+                "Profiler EPROM window is mapped (attach_profiler first)"
+            )
+        self.work(self.cost.trigger_ns)
+        self.bus.read8(self.profile_base_phys + tag_value)
+        self.stat("triggers", 1)
+
+    # -- software interrupts --------------------------------------------------
+
+    def register_soft_interrupt(
+        self, name: str, level: int, handler: Callable[[], None]
+    ) -> None:
+        """Register an emulated software interrupt (boot-time)."""
+        self._soft_table.append((name, level, handler))
+        # Higher-level soft interrupts run first.
+        self._soft_table.sort(key=lambda item: -item[1])
+
+    def request_soft_interrupt(self, name: str) -> None:
+        """Mark a software interrupt pending (schednetisr/setsoftclock)."""
+        self._soft_pending.add(name)
+
+    def run_soft_interrupts(self) -> None:
+        """Deliver pending software interrupts permitted at the current spl."""
+        if self._in_soft:
+            return
+        self._in_soft = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                for name, level, handler in self._soft_table:
+                    if name not in self._soft_pending or self.ipl >= level:
+                        continue
+                    self._soft_pending.discard(name)
+                    saved = self.ipl
+                    self.ipl = level
+                    try:
+                        handler()
+                    finally:
+                        self.ipl = saved
+                    progress = True
+        finally:
+            self._in_soft = False
+
+    # ------------------------------------------------------------------
+    # Profiling hookup
+    # ------------------------------------------------------------------
+
+    def set_profile_map(
+        self, entry_tags: dict[str, int], inline_tags: dict[str, int]
+    ) -> None:
+        """Install a compiled tag assignment (called by the pass)."""
+        self._entry_tags = dict(entry_tags)
+        self._inline_tags = dict(inline_tags)
+
+    def clear_profile_map(self) -> None:
+        """Run as the non-profiled kernel (overhead experiment baseline)."""
+        self._entry_tags = {}
+        self._inline_tags = {}
+
+    @property
+    def instrumented_functions(self) -> int:
+        """How many functions currently carry triggers."""
+        return len(self._entry_tags)
+
+    def attach_profiler(self, adapter: Any) -> None:
+        """Seat a Profiler piggy-back adapter and record its window base."""
+        adapter.plug_into(self.machine)
+        self.profile_base_phys = adapter.base
+
+    # ------------------------------------------------------------------
+    # Small shared services
+    # ------------------------------------------------------------------
+
+    def stat(self, name: str, delta: int = 1) -> None:
+        """Bump a kernel statistics counter."""
+        self.stats[name] += delta
+
+    def set_timeout(self, fn: Callable[..., None], arg: Any, ticks: int) -> Any:
+        """Schedule a callout (scheduler-internal path into timeout())."""
+        from repro.kernel.clock import timeout
+
+        return timeout(self, fn, arg, ticks)
+
+    @property
+    def now_us(self) -> int:
+        """Simulated time in microseconds."""
+        return self.machine.now_us
+
+    # ------------------------------------------------------------------
+    # Boot
+    # ------------------------------------------------------------------
+
+    def boot(
+        self,
+        with_network: bool = True,
+        with_disk: bool = True,
+        with_console: bool = True,
+    ) -> "Kernel":
+        """Autoconfiguration: attach devices, init subsystems, start clock.
+
+        Idempotent-hostile by design (a machine boots once); call on a
+        fresh kernel.
+        """
+        if self.booted:
+            raise KernelConfigError("kernel is already booted")
+        from repro.kernel.clock import hardclock, softclock
+
+        # The softclock software interrupt (emulated AST).
+        self.register_soft_interrupt(
+            "clock", IPL_SOFTCLOCK, lambda: softclock(self)
+        )
+
+        if with_network:
+            from repro.kernel.net import netboot
+
+            self.netstack = netboot(self)
+
+        if with_disk:
+            from repro.kernel.fs import fsboot
+
+            self.filesystem = fsboot(self)
+
+        if with_console:
+            from repro.kernel.drivers.cons import Console
+
+            self.console = Console(self)
+
+        self.machine.clock_chip.program(lambda: hardclock(self))
+        self.booted = True
+        return self

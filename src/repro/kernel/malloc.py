@@ -1,0 +1,115 @@
+"""The kernel memory allocator (``kern_malloc``).
+
+A faithful-in-structure bucket allocator: power-of-two free lists
+refilled from ``kmem_alloc`` pages.  Table 1 calibration: ``malloc``
+averages 37 us inclusive and ``free`` 32 us; the occasional bucket refill
+explains malloc's long tail (Figure 3 shows max 36 us for the steady
+state; a refill pulls in ``kmem_alloc`` at ~800 us).
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kfunc import kfunc
+
+#: Smallest bucket, bytes.
+MINBUCKET = 16
+#: Largest bucketed request; bigger goes straight to kmem pages.
+MAXBUCKET = 8192
+#: Page size used for bucket refills.
+PAGE_BYTES = 4096
+
+
+class KmemStats:
+    """Per-type allocation statistics (``vmstat -m`` style)."""
+
+    def __init__(self) -> None:
+        self.by_type: dict[str, dict[str, int]] = {}
+
+    def note_alloc(self, memtype: str, nbytes: int) -> None:
+        entry = self.by_type.setdefault(
+            memtype, {"allocs": 0, "frees": 0, "bytes": 0, "inuse": 0}
+        )
+        entry["allocs"] += 1
+        entry["bytes"] += nbytes
+        entry["inuse"] += 1
+
+    def note_free(self, memtype: str) -> None:
+        entry = self.by_type.setdefault(
+            memtype, {"allocs": 0, "frees": 0, "bytes": 0, "inuse": 0}
+        )
+        entry["frees"] += 1
+        entry["inuse"] -= 1
+
+
+class KernelAllocator:
+    """Bucketed free lists over kmem pages."""
+
+    def __init__(self) -> None:
+        # bucket size -> number of free chunks on the list
+        self.freelists: dict[int, int] = {}
+        self.stats = KmemStats()
+        self.pages_grabbed = 0
+
+    @staticmethod
+    def bucket_for(nbytes: int) -> int:
+        """The power-of-two bucket serving *nbytes*."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation of {nbytes} bytes")
+        size = MINBUCKET
+        while size < nbytes:
+            size <<= 1
+        return size
+
+    def take(self, bucket: int) -> bool:
+        """Pop a chunk from the bucket's free list; False if empty."""
+        count = self.freelists.get(bucket, 0)
+        if count == 0:
+            return False
+        self.freelists[bucket] = count - 1
+        return True
+
+    def refill(self, bucket: int) -> int:
+        """Add one page's worth of chunks; returns the chunk count."""
+        chunks = max(1, PAGE_BYTES // bucket)
+        self.freelists[bucket] = self.freelists.get(bucket, 0) + chunks
+        self.pages_grabbed += 1
+        return chunks
+
+    def give_back(self, bucket: int) -> None:
+        """Return a chunk to its free list."""
+        self.freelists[bucket] = self.freelists.get(bucket, 0) + 1
+
+
+@kfunc(module="kern/kern_malloc", base_us=24.0)
+def malloc(k, nbytes: int, memtype: str = "misc") -> int:
+    """Allocate kernel memory; returns the bucket size actually used.
+
+    Steady state ~20-35 us (bucket pop); a refill adds a ``kmem_alloc``
+    call (~800 us) — the long tail in the paper's numbers.
+    """
+    from repro.kernel.vm.kmem import kmem_alloc
+
+    allocator = k.kmem
+    if nbytes > MAXBUCKET:
+        kmem_alloc(k, nbytes)
+        allocator.stats.note_alloc(memtype, nbytes)
+        return nbytes
+    bucket = allocator.bucket_for(nbytes)
+    k.work(2_600)  # bucket index + freelist pop
+    if not allocator.take(bucket):
+        kmem_alloc(k, PAGE_BYTES)
+        allocator.refill(bucket)
+        allocator.take(bucket)
+    allocator.stats.note_alloc(memtype, nbytes)
+    return bucket
+
+
+@kfunc(module="kern/kern_malloc", base_us=19.0)
+def free(k, nbytes: int, memtype: str = "misc") -> None:
+    """Release kernel memory back to its bucket."""
+    allocator = k.kmem
+    if nbytes <= MAXBUCKET:
+        bucket = allocator.bucket_for(nbytes)
+        allocator.give_back(bucket)
+    k.work(9_000)  # freelist push + type accounting
+    allocator.stats.note_free(memtype)

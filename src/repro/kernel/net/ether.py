@@ -1,0 +1,37 @@
+"""Ethernet encapsulation layer (``if_ethersubr``)."""
+
+from __future__ import annotations
+
+from repro.kernel.kfunc import kfunc
+from repro.kernel.net.headers import ETHER_HDR_LEN, ETHERTYPE_IP, EtherHeader
+from repro.kernel.net.mbuf import Mbuf, m_adj, m_freem, m_prepend
+
+
+@kfunc(module="net/if_ethersubr", base_us=12.0)
+def ether_input(k, we, m: Mbuf) -> None:
+    """Classify a received frame and queue it for the IP software interrupt."""
+    header = EtherHeader.unpack(m.data)
+    m_adj(k, m, ETHER_HDR_LEN)
+    if header.ether_type != ETHERTYPE_IP:
+        k.stat("ether_unknown_type", 1)
+        m_freem(k, m)
+        return
+    stack = k.netstack
+    if len(stack.ipintrq) >= stack.ipintrq_maxlen:
+        k.stat("ipintrq_drops", 1)
+        m_freem(k, m)
+        return
+    stack.ipintrq.append(m)
+    # schednetisr(NETISR_IP): the emulated software interrupt.
+    k.request_soft_interrupt("net")
+
+
+@kfunc(module="net/if_ethersubr", base_us=15.0)
+def ether_output(k, we, m: Mbuf, dst: bytes) -> None:
+    """Encapsulate and queue a frame, then start the transmitter."""
+    from repro.kernel.net.if_we import westart
+
+    head = m_prepend(k, m, ETHER_HDR_LEN)
+    head.data = EtherHeader(dst=dst, src=we.ENADDR).pack()
+    we.if_snd.append(head)
+    westart(k, we)

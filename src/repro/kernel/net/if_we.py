@@ -1,0 +1,263 @@
+"""The WD8003E Ethernet driver (``if_we``) and the wire it hangs on.
+
+The case-study NIC: an 8-bit ISA card whose received frames sit in
+on-board packet RAM that the CPU must ``bcopy`` across the ISA bus —
+"each TCP data packet that was received (i.e a full Ethernet packet) took
+about 1045 microseconds to process at the driver level.  This alone is
+only about 20% more data throughput than Ethernet itself."
+
+Function names match the paper's traces: ``weintr`` (the interrupt
+handler), ``werint`` (receive dispatch), ``weread`` (frame intake),
+``weget`` (the copy into mbufs), ``westart`` (transmit), ``wetint``
+(transmit-done).
+
+The counterfactual the paper works through — leave frames in controller
+RAM as external mbufs — is selected by
+:attr:`repro.sim.cpu.CostModel.mbufs_in_controller_ram`: ``weget`` then
+skips the big copy, and every later touch of the packet (checksum,
+copyout) pays the 8-bit bus penalty instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.kernel.intr import IPL_NET
+from repro.kernel.kfunc import kfunc
+from repro.kernel.net.mbuf import Mbuf, m_devget, m_length
+from repro.sim.bus import Region
+from repro.sim.devices import Device
+from repro.sim.engine import InterruptLine
+
+#: 10 Mb/s Ethernet: 0.8 us per byte on the wire.
+WIRE_NS_PER_BYTE = 800
+#: Interframe gap + preamble, as time.
+WIRE_FRAME_OVERHEAD_NS = 20_000
+#: Minimum/maximum Ethernet frame payload the driver accepts.
+MIN_FRAME = 60
+MAX_FRAME = 1514
+
+
+def wire_time_ns(frame_len: int) -> int:
+    """Transmission time of one frame on the 10 Mb/s wire."""
+    return frame_len * WIRE_NS_PER_BYTE + WIRE_FRAME_OVERHEAD_NS
+
+
+class RemoteHost:
+    """Something else on the Ethernet (a SPARCstation, an NFS server).
+
+    Remote hosts are not simulated at instruction level — they are traffic
+    sources/sinks with their own service-time models.
+    """
+
+    def attach_wire(self, wire: "EtherWire") -> None:
+        self.wire = wire
+
+    def receive(self, frame: bytes, at_ns: int) -> None:  # pragma: no cover
+        """Called when the local interface transmits *frame*."""
+
+
+class EtherWire:
+    """The shared segment: one local interface, any number of remotes."""
+
+    def __init__(self) -> None:
+        self.device: Optional["WeDevice"] = None
+        self.remotes: list[RemoteHost] = []
+        self.frames_to_host = 0
+        self.frames_from_host = 0
+
+    def attach_device(self, device: "WeDevice") -> None:
+        self.device = device
+
+    def attach_remote(self, remote: RemoteHost) -> None:
+        self.remotes.append(remote)
+        remote.attach_wire(self)
+
+    def send_to_host(self, frame: bytes, at_ns: int) -> None:
+        """A remote puts *frame* on the wire toward the local interface."""
+        if self.device is None:
+            raise RuntimeError("no local interface on this wire")
+        self.frames_to_host += 1
+        self.device.deliver_frame(frame, at_ns)
+
+    def transmit_from_host(self, frame: bytes, at_ns: int) -> None:
+        """The local interface transmits; every remote sees the frame."""
+        self.frames_from_host += 1
+        for remote in self.remotes:
+            remote.receive(frame, at_ns)
+
+
+class WeDevice(Device):
+    """The WD8003E board: 8 KB of 8-bit packet RAM on the ISA bus."""
+
+    name = "we0"
+    RING_BYTES = 8 * 1024
+    IRQ = 9
+    #: Ethernet address of the local interface.
+    ENADDR = bytes.fromhex("00001c334455")
+
+    def __init__(self, wire: EtherWire) -> None:
+        super().__init__()
+        self.wire = wire
+        wire.attach_device(self)
+        self.kernel: Any = None
+        self.line: Optional[InterruptLine] = None
+        #: Frames the controller has DMA'd into its ring, oldest first.
+        self.rx_ring: list[bytes] = []
+        #: Frames scheduled to arrive, as (at_ns, frame).
+        self._arrivals: list[tuple[int, bytes]] = []
+        #: Output queue of mbuf chains (ifnet if_snd).
+        self.if_snd: list[Mbuf] = []
+        self.tx_busy = False
+        self.tx_done_pending = 0
+        self.rx_dropped = 0
+        self.ipackets = 0
+        self.opackets = 0
+
+    def attach(self, machine: Any) -> None:
+        super().attach(machine)
+        machine.map_isa_window("we0-ram", base=0x000CC000, size=0x2000)
+        self.line = InterruptLine(
+            irq=self.IRQ, name="we0", ipl=IPL_NET, handler=self._intr
+        )
+
+    # -- wire side ----------------------------------------------------------
+
+    def deliver_frame(self, frame: bytes, at_ns: int) -> None:
+        """Schedule *frame*'s arrival (the controller stores it itself)."""
+        if not (MIN_FRAME <= len(frame) <= MAX_FRAME):
+            raise ValueError(f"bad frame length {len(frame)}")
+        machine = self._require_machine()
+        self._arrivals.append((at_ns, frame))
+        self._arrivals.sort(key=lambda item: item[0])
+        if self.line is None:
+            raise RuntimeError("we0 has no interrupt line (not attached)")
+        machine.interrupts.post(self.line, at_ns)
+
+    def ingest_arrivals(self, now_ns: int) -> None:
+        """Move frames that have arrived by *now_ns* into the ring.
+
+        Called at interrupt service time: everything that landed while
+        the interrupt was pending is already in controller RAM (or was
+        dropped for lack of ring space).
+        """
+        remaining = []
+        for at_ns, frame in self._arrivals:
+            if at_ns > now_ns:
+                remaining.append((at_ns, frame))
+                continue
+            used = sum(len(f) + 4 for f in self.rx_ring)
+            if used + len(frame) + 4 > self.RING_BYTES:
+                self.rx_dropped += 1
+            else:
+                self.rx_ring.append(frame)
+        self._arrivals = remaining
+
+    def _intr(self) -> None:
+        if self.kernel is None:
+            raise RuntimeError("we0 interrupt before the kernel booted")
+        weintr(self.kernel, self)
+
+    # -- transmit completion ---------------------------------------------------
+
+    def schedule_tx_done(self, frame: bytes, now_ns: int) -> None:
+        done_at = now_ns + wire_time_ns(len(frame))
+        machine = self._require_machine()
+        self.tx_done_pending += 1
+        if self.line is None:
+            raise RuntimeError("we0 has no interrupt line (not attached)")
+        machine.interrupts.post(self.line, done_at)
+        self.wire.transmit_from_host(frame, done_at)
+
+
+# ---------------------------------------------------------------------------
+# Driver routines (the names from the paper's traces)
+# ---------------------------------------------------------------------------
+
+
+@kfunc(module="isa/if_we", base_us=22.0)
+def weintr(k, we: WeDevice) -> None:
+    """Interrupt service: drain receives, then reap transmit completions."""
+    we.ingest_arrivals(k.machine.now_ns)
+    while we.rx_ring:
+        werint(k, we)
+        we.ingest_arrivals(k.machine.now_ns)
+    if we.tx_done_pending:
+        while we.tx_done_pending:
+            we.tx_done_pending -= 1
+            wetint(k, we)
+        if we.if_snd:
+            westart(k, we)
+
+
+@kfunc(module="isa/if_we", base_us=38.0)
+def werint(k, we: WeDevice) -> None:
+    """Receive one frame: ring header parse, then intake."""
+    frame = we.rx_ring.pop(0)
+    k.work(9_000)  # ring boundary register updates over the ISA bus
+    weread(k, we, frame)
+
+
+@kfunc(module="isa/if_we", base_us=10.0)
+def weread(k, we: WeDevice, frame: bytes) -> None:
+    """Validate and hand one received frame up to the stack."""
+    from repro.kernel.net.ether import ether_input
+
+    if len(frame) < MIN_FRAME:
+        k.stat("we_runts", 1)
+        return
+    m = weget(k, we, frame)
+    we.ipackets += 1
+    ether_input(k, we, m)
+
+
+@kfunc(module="isa/if_we", base_us=14.0)
+def weget(k, we: WeDevice, frame: bytes) -> Mbuf:
+    """Move a frame out of controller RAM into mbufs.
+
+    The paper's 1045-us-per-full-packet copy — unless the counterfactual
+    flag leaves the data in controller RAM as external mbufs, in which
+    case the copy is skipped and the penalty moves downstream.
+    """
+    from repro.kernel.libkern import bcopy
+
+    if k.cost.mbufs_in_controller_ram:
+        # External mbufs pointing into the 8-bit packet RAM.
+        m = m_devget(k, frame, region_of_copy=Region.ISA8)
+        k.work(18_000)  # ext-mbuf header linking per paper's proposal
+        return m
+    if k.cost.naive_driver:
+        # The un-recoded driver: controller RAM -> staging buffer ->
+        # mbufs, i.e. the ISA copy happens effectively twice (the 68020
+        # case-study bottleneck the paper's recode removed).
+        bcopy(k, len(frame), src=Region.ISA8, dst=Region.MAIN)
+        bcopy(k, len(frame), src=Region.ISA8, dst=Region.MAIN)
+        return m_devget(k, frame, region_of_copy=Region.MAIN)
+    bcopy(k, len(frame), src=Region.ISA8, dst=Region.MAIN)
+    return m_devget(k, frame, region_of_copy=Region.MAIN)
+
+
+@kfunc(module="isa/if_we", base_us=26.0)
+def westart(k, we: WeDevice) -> None:
+    """Kick the transmitter: copy the head of if_snd into controller RAM."""
+    from repro.kernel.libkern import bcopy
+
+    if we.tx_busy or not we.if_snd:
+        return
+    m = we.if_snd.pop(0)
+    frame = b"".join(seg.data for seg in m.chain())
+    if len(frame) < MIN_FRAME:
+        frame = frame + bytes(MIN_FRAME - len(frame))
+    bcopy(k, len(frame), src=Region.MAIN, dst=Region.ISA8)
+    k.work(11_000)  # transmit-start register programming
+    from repro.kernel.net.mbuf import m_freem
+
+    m_freem(k, m)
+    we.opackets += 1
+    we.schedule_tx_done(frame, k.machine.now_ns)
+
+
+@kfunc(module="isa/if_we", base_us=18.0)
+def wetint(k, we: WeDevice) -> None:
+    """Transmit-complete: status read and error accounting."""
+    k.stat("we_tx_done", 1)

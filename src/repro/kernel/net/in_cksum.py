@@ -1,0 +1,92 @@
+"""``in_cksum``: the Internet checksum over an mbuf chain.
+
+The paper's second-biggest CPU consumer: "To checksum a 1 Kbyte packet
+was taking 843 microseconds.  It was discovered that the in_cksum routine
+has not been optimally coded (e.g., like other architectures where it is
+done in assembler), and recoding this routine should provide a reduction
+in packet processing from 2000 microseconds to perhaps 1200 microseconds."
+
+Both codings exist here as cost-model parameters
+(:attr:`repro.sim.cpu.CostModel.asm_cksum`); the arithmetic is the real
+RFC 1071 ones-complement sum either way, including correct handling of
+odd-length mbufs in the middle of a chain (byte-swapped accumulation,
+just like the real C code).
+
+Bytes that still live in controller (ISA) RAM cost the bus penalty per
+byte — the mechanism behind the paper's "would this help?" analysis of
+checksumming in controller memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.kfunc import kfunc
+from repro.kernel.net.mbuf import Mbuf
+from repro.sim.bus import Region
+
+
+def _fold(total: int) -> int:
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@kfunc(module="netinet/in_cksum", base_us=4.0)
+def in_cksum(k, m: Mbuf, length: Optional[int] = None) -> int:
+    """Checksum the first *length* bytes of chain *m*.
+
+    Returns the folded, inverted 16-bit checksum — zero means "verifies"
+    when the packet already carries its checksum field.
+    """
+    cost = k.cost
+    per_byte = (
+        cost.cksum_asm_ns_per_byte if cost.asm_cksum else cost.cksum_c_ns_per_byte
+    )
+    remaining = (
+        length if length is not None else sum(seg.m_len for seg in m.chain())
+    )
+    if remaining < 0:
+        raise ValueError(f"in_cksum over negative length {remaining}")
+    total = 0
+    odd = False  # carry an odd-byte boundary between mbufs
+    pending_byte = 0
+    charged_setup = False
+    for seg in m.chain():
+        if remaining == 0:
+            break
+        take = min(seg.m_len, remaining)
+        data = seg.data[:take]
+        remaining -= take
+        # Cost: per-byte arithmetic, plus the bus penalty when the bytes
+        # are not in main memory.
+        seg_cost = take * per_byte
+        if seg.region in (Region.ISA8, Region.EPROM):
+            seg_cost += take * cost.isa8_read_ns
+        elif seg.region is Region.ISA16:
+            seg_cost += take * cost.isa16_read_ns
+        if not charged_setup:
+            seg_cost += cost.cksum_setup_ns
+            charged_setup = True
+        k.work(seg_cost)
+        # Arithmetic: RFC 1071 with odd-boundary handling.
+        index = 0
+        if odd and data:
+            total += pending_byte | data[0]
+            index = 1
+            odd = False
+        tail = len(data) - index
+        if tail % 2:
+            pending_byte = data[-1] << 8
+            odd = True
+            end = len(data) - 1
+        else:
+            end = len(data)
+        for i in range(index, end - 1, 2):
+            total += (data[i] << 8) | data[i + 1]
+    if odd:
+        total += pending_byte
+    if remaining:
+        raise ValueError(f"in_cksum ran out of chain with {remaining} bytes left")
+    k.stat("in_cksum_calls", 1)
+    return _fold(total)

@@ -1,0 +1,89 @@
+"""IP input (the netisr) and output.
+
+``ipintr`` is the software interrupt the 386 has to emulate: the driver
+queues frames and raises NETISR_IP; the interrupt epilogue (or the next
+spl-lowering) runs this loop at ``splnet``.  Figure 4 shows the structure
+exactly: ``ipintr`` -> ``splnet``/``splx`` around the dequeue, then
+``in_cksum`` on the header, then ``tcp_input``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.intr import splnet, splx
+from repro.kernel.kfunc import kfunc
+from repro.kernel.net.headers import (
+    IP_HDR_LEN,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IpHeader,
+)
+from repro.kernel.net.in_cksum import in_cksum
+from repro.kernel.net.mbuf import Mbuf, m_freem, m_length, m_pullup
+
+
+@kfunc(module="netinet/ip_input", base_us=24.0)
+def ipintr(k) -> None:
+    """Drain the IP input queue (NETISR_IP)."""
+    from repro.kernel.net.tcp import tcp_input
+    from repro.kernel.net.udp import udp_input
+
+    stack = k.netstack
+    while True:
+        s = splnet(k)
+        if not stack.ipintrq:
+            splx(k, s)
+            break
+        m = stack.ipintrq.pop(0)
+        splx(k, s)
+
+        m = m_pullup(k, m, IP_HDR_LEN)
+        header = IpHeader.unpack(m.data[:IP_HDR_LEN])
+        if in_cksum(k, m, IP_HDR_LEN) != 0:
+            k.stat("ip_badsum", 1)
+            m_freem(k, m)
+            continue
+        if header.total_len > m_length(m):
+            k.stat("ip_tooshort", 1)
+            m_freem(k, m)
+            continue
+        if header.dst != stack.local_addr:
+            k.stat("ip_notours", 1)
+            m_freem(k, m)
+            continue
+        k.stat("ip_received", 1)
+        if header.proto == IPPROTO_TCP:
+            tcp_input(k, m, header)
+        elif header.proto == IPPROTO_UDP:
+            udp_input(k, m, header)
+        else:
+            k.stat("ip_noproto", 1)
+            m_freem(k, m)
+
+
+@kfunc(module="netinet/ip_output", base_us=28.0)
+def ip_output(k, m: Mbuf, src: int, dst: int, proto: int) -> None:
+    """Prepend an IP header (with a real checksum) and hand to the wire."""
+    from repro.kernel.net.ether import ether_output
+    from repro.kernel.net.mbuf import m_prepend
+
+    stack = k.netstack
+    payload_len = m_length(m)
+    header = IpHeader(
+        total_len=IP_HDR_LEN + payload_len,
+        ident=stack.ip_id,
+        ttl=64,
+        proto=proto,
+        src=src,
+        dst=dst,
+    )
+    stack.ip_id = (stack.ip_id + 1) & 0xFFFF
+    head = m_prepend(k, m, IP_HDR_LEN)
+    head.data = header.pack(with_checksum=False)
+    # The real code checksums the header it just built.
+    value = in_cksum(k, head, IP_HDR_LEN)
+    head.data = head.data[:10] + value.to_bytes(2, "big") + head.data[12:]
+    k.stat("ip_sent", 1)
+    # One interface, one gateway: route lookup is a cached-route hit.
+    k.work(6_000)
+    we = stack.interfaces["we0"]
+    ether_output(k, we, head, dst=b"\xff\xff\xff\xff\xff\xff")

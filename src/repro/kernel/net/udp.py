@@ -1,0 +1,78 @@
+"""UDP input/output.
+
+The checksum switch matters for the paper's NFS observation: "UDP
+checksums are usually turned off with NFS; since the checksum routine
+contributed a large proportion to the CPU overhead, NFS actually provides
+less overhead and better throughput than an FTP style connection!"
+``k.udpcksum`` controls both directions.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.kfunc import kfunc
+from repro.kernel.net.headers import (
+    IPPROTO_UDP,
+    IP_HDR_LEN,
+    UDP_HDR_LEN,
+    IpHeader,
+    UdpHeader,
+    cksum_bytes,
+    cksum_fold,
+    pseudo_header,
+)
+from repro.kernel.net.in_cksum import in_cksum
+from repro.kernel.net.mbuf import Mbuf, m_adj, m_freem, m_length, m_pullup
+from repro.kernel.net.tcp import InPcb, in_pcblookup
+
+
+@kfunc(module="netinet/udp_usrreq", base_us=30.0)
+def udp_input(k, m: Mbuf, ip: IpHeader) -> None:
+    """Deliver one UDP datagram to its socket."""
+    from repro.kernel.net.socket import sbappend, sorwakeup
+
+    stack = k.netstack
+    dgram_len = ip.total_len - IP_HDR_LEN
+    m = m_pullup(k, m, min(IP_HDR_LEN + UDP_HDR_LEN, m_length(m)))
+    raw = b"".join(seg.data for seg in m.chain())[IP_HDR_LEN : IP_HDR_LEN + dgram_len]
+    uh = UdpHeader.unpack(raw)
+    if k.udpcksum and uh.cksum != 0:
+        in_cksum(k, m, IP_HDR_LEN + dgram_len)  # the measured cost
+        pseudo = pseudo_header(ip.src, ip.dst, IPPROTO_UDP, dgram_len)
+        if cksum_fold(cksum_bytes(pseudo + raw)) != 0:
+            k.stat("udp_badsum", 1)
+            m_freem(k, m)
+            return
+    pcb = in_pcblookup(
+        k, stack.udb, faddr=ip.src, fport=uh.sport, laddr=ip.dst, lport=uh.dport
+    )
+    if pcb is None or pcb.socket is None:
+        k.stat("udp_noport", 1)
+        m_freem(k, m)
+        return
+    m_adj(k, m, IP_HDR_LEN + UDP_HDR_LEN)
+    so = pcb.socket
+    so.last_from = (ip.src, uh.sport)
+    sbappend(k, so.so_rcv, m)
+    sorwakeup(k, so)
+    k.stat("udp_received", 1)
+
+
+@kfunc(module="netinet/udp_usrreq", base_us=38.0)
+def udp_output(k, pcb: InPcb, m: Mbuf, dst: int, dport: int) -> None:
+    """Emit one datagram from *pcb*'s socket."""
+    from repro.kernel.net.ip import ip_output
+    from repro.kernel.net.mbuf import m_prepend
+
+    payload_len = m_length(m)
+    header = UdpHeader(
+        sport=pcb.lport, dport=dport, length=UDP_HDR_LEN + payload_len
+    )
+    head = m_prepend(k, m, UDP_HDR_LEN)
+    if k.udpcksum:
+        payload = b"".join(seg.data for seg in m.chain() if seg is not head)
+        head.data = header.pack_with_checksum(pcb.laddr, dst, payload)
+        in_cksum(k, head, UDP_HDR_LEN + payload_len)  # the measured cost
+    else:
+        head.data = header.pack()
+    k.stat("udp_sent", 1)
+    ip_output(k, head, src=pcb.laddr or k.netstack.local_addr, dst=dst, proto=IPPROTO_UDP)

@@ -1,0 +1,265 @@
+"""The system-call layer.
+
+Macro-profiling's other anchor (besides the vnode layer): "certain key
+modules such as the system call handlers ... are profiled.  Virtually all
+kernel code paths traverse these higher level routines."  Every handler
+is a kernel function in module ``kern/syscalls`` (plus the fork/exec pair
+in their own modules), entered through the common :func:`syscall` trap
+dispatcher so a macro profile shows the whole syscall surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.kernel.kfunc import kfunc
+from repro.kernel.proc import Proc, ProcState, closef, falloc
+from repro.kernel.sched import tsleep, wakeup
+from repro.kernel.vm.vm_glue import DEFAULT_IMAGE, ExecImage, vmspace_exec, vmspace_fork, vmspace_free
+
+
+class SyscallError(Exception):
+    """EINVAL and friends."""
+
+
+@kfunc(module="kern/syscalls", base_us=21.0, can_sleep=True)
+def syscall(k, proc: Proc, name: str, *args: Any):
+    """The trap gate: argument copyin, dispatch, return-value plumbing.
+
+    The return-to-user path drops the interrupt level with ``spl0`` —
+    one reason ``spl0`` shows up hundreds of times in every profile.
+    """
+    from repro.kernel.intr import spl0
+
+    handler = _SYSENT.get(name)
+    if handler is None:
+        raise SyscallError(f"ENOSYS: {name!r}")
+    result = yield from handler(k, proc, *args)
+    spl0(k)
+    return result
+
+
+@kfunc(module="kern/vfs_syscalls", base_us=30.0, can_sleep=True)
+def sys_open(k, proc: Proc, path: str, create: bool = False):
+    """open(2): namei, optional create, descriptor allocation."""
+    from repro.kernel.fs.ffs import FfsError, ffs_create
+    from repro.kernel.fs.vnode import Vnode, namei, root_vnode
+
+    try:
+        vp = yield from namei(k, path)
+    except FfsError:
+        if not create:
+            raise
+        parent = root_vnode(k)
+        name = path.strip("/").split("/")[-1]
+        inode = yield from ffs_create(k, k.filesystem.volume, parent.node, name)
+        vp = Vnode(fstype="ufs", node=inode, volume=k.filesystem.volume)
+    fd, file = falloc(k, proc, kind="vnode", data=vp)
+    return fd
+
+
+@kfunc(module="kern/vfs_syscalls", base_us=16.0, can_sleep=True)
+def sys_close(k, proc: Proc, fd: int):
+    """close(2)."""
+    closef(k, proc, fd)
+    return 0
+    yield  # pragma: no cover - keeps this a generator (protocol uniformity)
+
+
+@kfunc(module="kern/sys_generic", base_us=24.0, can_sleep=True)
+def sys_read(k, proc: Proc, fd: int, length: int):
+    """read(2): vnode or socket."""
+    from repro.kernel.fs.vnode import VOP_READ
+    from repro.kernel.net.socket import soreceive
+
+    file = proc.file_for(fd)
+    if file.kind == "vnode":
+        data = yield from VOP_READ(k, file.data, file.offset, length)
+        file.offset += len(data)
+        return data
+    if file.kind == "socket":
+        data = yield from soreceive(k, file.data, length)
+        return data
+    if file.kind == "pipe":
+        from repro.kernel.ipc import pipe_read
+
+        data = yield from pipe_read(k, file.data, length)
+        return data
+    raise SyscallError(f"EBADF: fd {fd} is a {file.kind}")
+
+
+@kfunc(module="kern/sys_generic", base_us=26.0, can_sleep=True)
+def sys_write(k, proc: Proc, fd: int, data: bytes, sync: bool = False):
+    """write(2): vnode-backed files."""
+    from repro.kernel.fs.vnode import VOP_WRITE
+
+    file = proc.file_for(fd)
+    if file.kind == "pipe":
+        from repro.kernel.ipc import pipe_write
+
+        n = yield from pipe_write(k, file.data, data)
+        return n
+    if file.kind != "vnode":
+        raise SyscallError(f"EBADF: fd {fd} is a {file.kind}")
+    n = yield from VOP_WRITE(k, file.data, file.offset, data, sync=sync)
+    file.offset += n
+    return n
+
+
+@kfunc(module="kern/uipc_syscalls", base_us=22.0, can_sleep=True)
+def sys_socket(k, proc: Proc, sotype: int):
+    """socket(2)."""
+    from repro.kernel.net.socket import socreate
+
+    so = socreate(k, sotype)
+    fd, _ = falloc(k, proc, kind="socket", data=so)
+    return fd
+    yield  # pragma: no cover - keeps this a generator
+
+
+@kfunc(module="kern/uipc_syscalls", base_us=15.0, can_sleep=True)
+def sys_bind(k, proc: Proc, fd: int, port: int):
+    """bind(2)."""
+    from repro.kernel.net.socket import sobind
+
+    sobind(k, proc.file_for(fd).data, port)
+    return 0
+    yield  # pragma: no cover
+
+
+@kfunc(module="kern/uipc_syscalls", base_us=14.0, can_sleep=True)
+def sys_listen(k, proc: Proc, fd: int, backlog: int = 5):
+    """listen(2)."""
+    from repro.kernel.net.socket import solisten
+
+    solisten(k, proc.file_for(fd).data, backlog)
+    return 0
+    yield  # pragma: no cover
+
+
+@kfunc(module="kern/uipc_syscalls", base_us=28.0, can_sleep=True)
+def sys_accept(k, proc: Proc, fd: int):
+    """accept(2): blocks for a completed connection, allocates its fd."""
+    from repro.kernel.net.socket import soaccept
+
+    listener = proc.file_for(fd).data
+    conn = yield from soaccept(k, listener)
+    new_fd, _ = falloc(k, proc, kind="socket", data=conn)
+    return new_fd
+
+
+@kfunc(module="kern/kern_fork", base_us=140.0, can_sleep=True)
+def sys_fork(k, proc: Proc, child_body: Callable[[Any, Proc], Generator]):
+    """fork(2)/vfork(2): duplicate the process.
+
+    *child_body* is the child's kernel life (the simulation's stand-in
+    for "continue executing the same program text").  Returns the child.
+    """
+    from repro.kernel.malloc import malloc
+
+    if proc.vmspace is None:
+        # A kernel-spawned process forking before any exec: give it the
+        # default image's address space first (init does the same).
+        vmspace_exec(k, proc, DEFAULT_IMAGE)
+    child = k.sched.procs.new(name=f"{proc.name}-child", parent=proc)
+    malloc(k, 512, "proc")
+    # Duplicate the descriptor table.
+    open_fds = 0
+    for fd, file in enumerate(proc.files):
+        if file is not None:
+            child.files[fd] = file
+            file.refcount += 1
+            open_fds += 1
+    k.work(3_000 + open_fds * 2_200)
+    vmspace_fork(k, proc, child)
+    child.driver = child_body(k, child)
+    k.sched.setrun(child)
+    k.stat("forks", 1)
+    return child
+    yield  # pragma: no cover - keeps this a generator
+
+
+@kfunc(module="kern/kern_exec", base_us=260.0, can_sleep=True)
+def sys_execve(k, proc: Proc, path: str, argv: tuple[str, ...] = ()):
+    """execve(2): namei, argument copyin, address-space replacement.
+
+    The image must exist in the filesystem (the paper's measurements are
+    for a *cached* image: run it once to warm the cache).
+    """
+    from repro.kernel.fs.vnode import namei
+    from repro.kernel.libkern import copyinstr
+
+    vp = yield from namei(k, path)
+    for arg in argv:
+        copyinstr(k, arg)
+    image = k_exec_image(k, path, vp)
+    vmspace_exec(k, proc, image)
+    proc.name = image.name
+    k.stat("execs", 1)
+    return 0
+
+
+def k_exec_image(k, path: str, vp: Any) -> ExecImage:
+    """Resolve the ExecImage for *path* (registry on the kernel, else a
+    default sized from the file)."""
+    registry: dict[str, ExecImage] = getattr(k, "exec_images", {})
+    name = path.strip("/").split("/")[-1]
+    if name in registry:
+        return registry[name]
+    return ExecImage(name=name)
+
+
+@kfunc(module="kern/kern_exit", base_us=120.0, can_sleep=True)
+def sys_exit(k, proc: Proc, status: int = 0):
+    """exit(2): release the address space, close files, wake the parent."""
+    vmspace_free(k, proc)
+    for fd, file in enumerate(proc.files):
+        if file is not None:
+            closef(k, proc, fd)
+    proc.exit_status = status
+    if proc.parent is not None:
+        wakeup(k, ("wait", proc.parent.pid))
+    k.stat("exits", 1)
+    return status
+    yield  # pragma: no cover - keeps this a generator
+
+
+@kfunc(module="kern/kern_exit", base_us=40.0, can_sleep=True)
+def sys_wait(k, proc: Proc):
+    """wait(2): sleep until a child exits, then reap it."""
+    while True:
+        zombies = [
+            p
+            for p in k.sched.procs.all()
+            if p.parent is proc and p.state is ProcState.SZOMB
+        ]
+        if zombies:
+            child = zombies[0]
+            k.sched.procs.remove(child)
+            return child.pid, child.exit_status
+        yield from tsleep(k, ("wait", proc.pid), wmesg="wait")
+
+
+def sys_pipe_entry(k, proc: Proc):
+    """pipe(2) dispatcher entry (the implementation lives in kern/sys_pipe)."""
+    from repro.kernel.ipc import sys_pipe
+
+    result = yield from sys_pipe(k, proc)
+    return result
+
+
+_SYSENT: dict[str, Callable[..., Generator]] = {
+    "pipe": sys_pipe_entry,
+    "open": sys_open,
+    "close": sys_close,
+    "read": sys_read,
+    "write": sys_write,
+    "socket": sys_socket,
+    "bind": sys_bind,
+    "listen": sys_listen,
+    "accept": sys_accept,
+    "fork": sys_fork,
+    "execve": sys_execve,
+    "exit": sys_exit,
+    "wait": sys_wait,
+}

@@ -1,0 +1,118 @@
+"""Capture-session orchestration: arm, record, retrieve.
+
+A :class:`CaptureSession` is the procedural wrapper around one profiling
+run — the software equivalent of "press the switch, run the test, pull the
+RAMs".  The result is a :class:`Capture`: the raw records plus the name
+table that gives the tags meaning, which is everything the analysis layer
+(:mod:`repro.analysis`) consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.profiler.hardware import ProfilerBoard
+from repro.profiler.ram import RawRecord
+from repro.profiler.upload import read_capture_file, write_capture_file
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instrument.namefile import NameTable
+
+
+@dataclasses.dataclass
+class Capture:
+    """One completed profiling run, ready for analysis.
+
+    ``records`` are exactly what the hardware stored (wrapped 24-bit
+    times); ``names`` maps tags back to functions; ``overflowed`` is the
+    state of the overflow LED when the RAMs were pulled.
+    """
+
+    records: tuple[RawRecord, ...]
+    names: "NameTable"
+    overflowed: bool = False
+    label: str = ""
+    counter_width_bits: int = 24
+    counter_rate_hz: int = 1_000_000
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Write the raw records to a capture file (names travel separately,
+        exactly as in the paper's workflow)."""
+        return write_capture_file(path, self.records)
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], names: "NameTable", label: str = ""
+    ) -> "Capture":
+        """Re-read a saved capture, pairing it with *names*."""
+        return cls(records=tuple(read_capture_file(path)), names=names, label=label)
+
+
+class CaptureSession:
+    """Arms a board around a workload and retrieves the capture.
+
+    Usage::
+
+        session = CaptureSession(board, names)
+        with session:
+            run_workload()
+        capture = session.capture
+
+    The context manager presses the switch on entry and releases it on
+    exit; :attr:`capture` pulls the battery-backed RAMs (emptying the
+    board for the next run).
+    """
+
+    def __init__(
+        self,
+        board: ProfilerBoard,
+        names: "NameTable",
+        label: str = "",
+    ) -> None:
+        self.board = board
+        self.names = names
+        self.label = label
+        self._capture: Optional[Capture] = None
+
+    def __enter__(self) -> "CaptureSession":
+        self.board.reset()
+        self.board.arm()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.board.disarm()
+        if exc_type is None:
+            self._capture = self._retrieve()
+
+    @property
+    def capture(self) -> Capture:
+        """The completed capture; raises if the session has not finished."""
+        if self._capture is None:
+            raise RuntimeError(
+                "no capture available: the session has not completed cleanly"
+            )
+        return self._capture
+
+    def _retrieve(self) -> Capture:
+        overflowed = self.board.overflow_led
+        carrier = self.board.pull_rams()
+        return Capture(
+            records=carrier.records(),
+            names=self.names,
+            overflowed=overflowed,
+            label=self.label,
+            counter_width_bits=self.board.counter.width_bits,
+            counter_rate_hz=self.board.counter.rate_hz,
+        )
+
+
+def synthetic_capture(
+    records: Sequence[RawRecord], names: "NameTable", label: str = "synthetic"
+) -> Capture:
+    """Build a :class:`Capture` from hand-made records (test/tooling aid)."""
+    return Capture(records=tuple(records), names=names, label=label)

@@ -1,0 +1,82 @@
+"""The Profiler's free-running microsecond counter.
+
+The board clocks a 24-bit counter at 1 MHz.  Twenty-four bits of
+microseconds wrap after 2**24 us ~= 16.8 seconds, which is why the paper
+notes "a maximum time of 16 seconds between events before the time is
+wrapped around and information is lost" — the analysis software only ever
+uses *differences* between successive snapshots, never absolute values.
+
+The paper's future-work section considers a higher clock rate and a wider
+RAM module for upmarket workstations, so both the width and the rate are
+parameters here (and an ablation benchmark sweeps them).
+"""
+
+from __future__ import annotations
+
+
+class MicrosecondCounter:
+    """A free-running counter latched on every event store.
+
+    The counter has no start/stop control — it runs from power-on.  Reads
+    return the counter truncated to ``width_bits``; the truncation is the
+    hardware's, not the analysis software's.
+    """
+
+    DEFAULT_WIDTH_BITS = 24
+    DEFAULT_RATE_HZ = 1_000_000
+
+    def __init__(
+        self,
+        width_bits: int = DEFAULT_WIDTH_BITS,
+        rate_hz: int = DEFAULT_RATE_HZ,
+    ) -> None:
+        if not (1 <= width_bits <= 64):
+            raise ValueError(f"counter width out of range: {width_bits}")
+        if rate_hz <= 0:
+            raise ValueError(f"counter rate must be positive: {rate_hz}")
+        self.width_bits = width_bits
+        self.rate_hz = rate_hz
+        self.mask = (1 << width_bits) - 1
+        #: Power-on phase offset in counter ticks; the counter does not
+        #: start at zero in general because it free-runs from power-on.
+        self.phase_ticks = 0
+
+    @property
+    def wrap_period_ticks(self) -> int:
+        """Number of ticks before the counter wraps (2**width)."""
+        return 1 << self.width_bits
+
+    @property
+    def max_gap_us(self) -> float:
+        """Largest inter-event gap representable without ambiguity, in us.
+
+        With the stock 24-bit/1 MHz configuration this is ~16.8 seconds
+        (the paper rounds it to "16 seconds").
+        """
+        return self.wrap_period_ticks / self.rate_hz * 1_000_000
+
+    def sample(self, now_ns: int) -> int:
+        """Latch the counter at absolute simulated time *now_ns*.
+
+        Converts the machine's nanosecond time base to counter ticks
+        (integer truncation — the hardware has no sub-tick resolution),
+        adds the power-on phase and truncates to the counter width.
+        """
+        if now_ns < 0:
+            raise ValueError(f"negative time {now_ns}")
+        ticks = (now_ns * self.rate_hz) // 1_000_000_000
+        return (ticks + self.phase_ticks) & self.mask
+
+    def interval_ticks(self, earlier: int, later: int) -> int:
+        """Ticks elapsed from snapshot *earlier* to snapshot *later*.
+
+        Modular subtraction: correct for any real gap strictly shorter
+        than one wrap period.  This is the only arithmetic the analysis
+        software is allowed to perform on counter values.
+        """
+        if not (0 <= earlier <= self.mask and 0 <= later <= self.mask):
+            raise ValueError(
+                f"snapshot out of counter range: earlier={earlier} later={later} "
+                f"mask={self.mask:#x}"
+            )
+        return (later - earlier) & self.mask

@@ -1,0 +1,108 @@
+"""The EPROM-socket connection: JEDEC socket model and piggy-back adapter.
+
+The paper's "elegant solution" to the connection problem: almost every
+board has an EPROM socket at a known, fixed address, accessed as an 8-bit
+device.  The Profiler taps just 18 signals — 16 address lines plus the
+ChipEnable and OutputEnable strobes — through a piggy-back socket, and the
+original boot EPROM (if any) plugs into the top of the adapter so the host
+keeps working.  Power comes from the socket, so the board is self
+contained.
+
+In the case study the spare socket on a WD8003E Ethernet card is used;
+"any ROM socket could have been used as long as it was at a known fixed
+address and was accessed as a 8 bit wide device, such a VGA BIOS ROM
+socket etc."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.profiler.hardware import ProfilerBoard
+from repro.sim.bus import MemoryRegion
+from repro.sim.machine import Machine
+
+#: A standard 27C512-class socket decodes 16 address lines: 64 KB.
+SOCKET_WINDOW_BYTES = 1 << 16
+
+#: The WD8003E's spare boot-ROM socket in the case-study machine sits at
+#: physical D0000 in the ISA hole (any known fixed socket address works).
+DEFAULT_SOCKET_BASE = 0x000D0000
+
+
+class EpromSocket:
+    """A JEDEC EPROM socket mapped into the ISA hole.
+
+    The socket may hold a real EPROM image (boot code), an adapter, or
+    nothing — reads of an empty socket float high (0xFF).
+    """
+
+    def __init__(self, base: int = DEFAULT_SOCKET_BASE, image: Optional[bytes] = None) -> None:
+        self.base = base
+        self.window = SOCKET_WINDOW_BYTES
+        self.image = image
+        if image is not None and len(image) > self.window:
+            raise ValueError(
+                f"EPROM image of {len(image)} bytes exceeds the "
+                f"{self.window}-byte socket window"
+            )
+
+    def read(self, offset: int) -> int:
+        """Data lines for a read at *offset* within the window."""
+        if not (0 <= offset < self.window):
+            raise ValueError(f"offset {offset:#x} outside the socket window")
+        if self.image is None or offset >= len(self.image):
+            return 0xFF
+        return self.image[offset]
+
+
+class PiggyBackAdapter:
+    """The Profiler's tap cable: socket on the bottom, socket on top.
+
+    Every read strobe is forwarded to the Profiler board (address lines +
+    chip enable) *and* answered by the original EPROM plugged into the top
+    socket, so the host cannot tell the adapter is present.
+    """
+
+    def __init__(self, board: ProfilerBoard, socket: Optional[EpromSocket] = None) -> None:
+        self.board = board
+        self.socket = socket if socket is not None else EpromSocket()
+        self._machine: Optional[Machine] = None
+        self._region: Optional[MemoryRegion] = None
+
+    @property
+    def base(self) -> int:
+        """Physical address of the socket window this adapter occupies."""
+        return self.socket.base
+
+    def plug_into(self, machine: Machine) -> MemoryRegion:
+        """Seat the adapter in *machine*'s EPROM socket.
+
+        Maps the 64 KB window with a read tap that strobes the board.
+        """
+        if self._machine is not None:
+            raise RuntimeError("adapter is already plugged into a machine")
+        self._machine = machine
+        self._region = machine.map_eprom_window(
+            name="profiler-eprom",
+            base=self.socket.base,
+            size=self.socket.window,
+            on_read=self._on_read,
+        )
+        return self._region
+
+    def unplug(self) -> None:
+        """Remove the adapter (unmaps the window tap, restores nothing —
+        the machine is assumed powered down for the swap)."""
+        if self._machine is None or self._region is None:
+            raise RuntimeError("adapter is not plugged into a machine")
+        self._machine.bus.unmap(self._region)
+        self._machine = None
+        self._region = None
+
+    def _on_read(self, offset: int) -> int:
+        """One socket read: strobe the board, answer from the top EPROM."""
+        if self._machine is None:
+            raise RuntimeError("read strobe with no machine attached")
+        self.board.eprom_strobe(offset=offset, now_ns=self._machine.now_ns)
+        return self.socket.read(offset)

@@ -1,0 +1,92 @@
+"""The Profiler's control logic (the electrically-erasable PAL).
+
+One PAL implements all the glue: it watches the EPROM socket's chip-enable
+strobe, gates the store strobe with the front-panel switch and the
+address-counter overflow latch, and drives the two status LEDs:
+
+* the **active LED** lights while the board is armed and storing;
+* the **overflow LED** latches on when the address counter tops out, at
+  which point the board "automatically cease[s] storing data".
+
+Being reprogrammable is what let the original board adapt to different
+host access methods; here the equivalent knob is that the strobe predicate
+is one small method that subclasses may override.
+"""
+
+from __future__ import annotations
+
+
+class ControlLogic:
+    """Arm/disarm switch, store gating and LED state."""
+
+    def __init__(self) -> None:
+        self._armed = False
+        self._overflowed = False
+        #: Strobes observed while disarmed or after overflow (useful when
+        #: validating that gating works; real hardware simply ignores them).
+        self.suppressed_strobes = 0
+        #: Strobes that resulted in a store.
+        self.stored_strobes = 0
+
+    # -- front panel -------------------------------------------------------
+
+    def arm(self) -> None:
+        """Press the start switch: begin storing at the current address."""
+        self._armed = True
+
+    def disarm(self) -> None:
+        """Release the switch: stop storing (records are retained)."""
+        self._armed = False
+
+    def reset(self) -> None:
+        """Power-cycle the logic: clear the overflow latch and counters."""
+        self._armed = False
+        self._overflowed = False
+        self.suppressed_strobes = 0
+        self.stored_strobes = 0
+
+    # -- gating -------------------------------------------------------------
+
+    def should_store(self) -> bool:
+        """The PAL equation gating the RAM write strobe."""
+        return self._armed and not self._overflowed
+
+    def strobe(self, ram_full: bool) -> bool:
+        """Process one chip-enable strobe; return True when a store fires.
+
+        *ram_full* is the address-counter carry-out: when it is set the
+        overflow latch trips and all further strobes are suppressed until
+        :meth:`reset`.
+        """
+        if not self.should_store():
+            self.suppressed_strobes += 1
+            return False
+        if ram_full:
+            self._overflowed = True
+            self.suppressed_strobes += 1
+            return False
+        self.stored_strobes += 1
+        return True
+
+    # -- LEDs ----------------------------------------------------------------
+
+    @property
+    def active_led(self) -> bool:
+        """First LED: "the Profiler is active and storing data"."""
+        return self._armed and not self._overflowed
+
+    @property
+    def overflow_led(self) -> bool:
+        """Second LED: "the address counter has overflowed and the
+        Profiler has automatically ceased storing data"."""
+        return self._overflowed
+
+    @property
+    def armed(self) -> bool:
+        """Switch position."""
+        return self._armed
+
+    @property
+    def overflowed(self) -> bool:
+        """Overflow latch state."""
+        return self._overflowed

@@ -1,0 +1,119 @@
+"""The Profiler's 40-bit-wide battery-backed trace RAM.
+
+Five 8-bit static RAMs side by side give a 40-bit word: 16 bits of event
+tag and 24 bits of latched microsecond counter.  The stock board is 16384
+words deep ("there is no inherent limit ... except the maximum amount of
+memory designed into the Profiler", so depth is a parameter).
+
+The RAMs sit in battery-backed SmartSocket carriers; after a capture they
+are physically moved to another host for readback, which is why the RAM
+object survives independently of the board and why its contents serialise
+losslessly (:mod:`repro.profiler.upload`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+TAG_BITS = 16
+TIME_BITS = 24
+TAG_MASK = (1 << TAG_BITS) - 1
+TIME_MASK = (1 << TIME_BITS) - 1
+
+#: Stock board depth: "The list is currently 16384 events long."
+DEFAULT_DEPTH = 16384
+
+
+@dataclasses.dataclass(frozen=True)
+class RawRecord:
+    """One stored event: a 16-bit tag and a 24-bit counter snapshot."""
+
+    tag: int
+    time: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.tag <= TAG_MASK):
+            raise ValueError(f"tag {self.tag} does not fit in {TAG_BITS} bits")
+        if not (0 <= self.time <= TIME_MASK):
+            raise ValueError(f"time {self.time} does not fit in {TIME_BITS} bits")
+
+    def pack(self) -> bytes:
+        """Serialise to the 5-byte on-wire layout (tag, then time, big-endian)."""
+        return self.tag.to_bytes(2, "big") + self.time.to_bytes(3, "big")
+
+    @classmethod
+    def unpack(cls, blob: bytes) -> "RawRecord":
+        """Decode one 5-byte record."""
+        if len(blob) != 5:
+            raise ValueError(f"record must be 5 bytes, got {len(blob)}")
+        return cls(tag=int.from_bytes(blob[:2], "big"), time=int.from_bytes(blob[2:], "big"))
+
+
+class TraceRam:
+    """The event store: an array of :class:`RawRecord` slots.
+
+    The RAM itself is dumb — the address counter and write strobe live in
+    the PAL (:mod:`repro.profiler.pal`).  It only enforces physical limits:
+    a fixed depth and the 16+24 bit field widths.
+    """
+
+    def __init__(self, depth: int = DEFAULT_DEPTH) -> None:
+        if depth <= 0:
+            raise ValueError(f"RAM depth must be positive, got {depth}")
+        self.depth = depth
+        self._slots: list[RawRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[RawRecord]:
+        return iter(self._slots)
+
+    def __getitem__(self, index: int) -> RawRecord:
+        return self._slots[index]
+
+    @property
+    def full(self) -> bool:
+        """True when every slot has been written (address counter at top)."""
+        return len(self._slots) >= self.depth
+
+    @property
+    def free_slots(self) -> int:
+        """Slots remaining before overflow."""
+        return self.depth - len(self._slots)
+
+    def store(self, tag: int, time: int) -> RawRecord:
+        """Write one record at the current address; caller checks ``full``.
+
+        Raises :class:`OverflowError` when the address counter has already
+        topped out — real hardware gates the strobe in the PAL, and the
+        PAL model does check first, so hitting this from board code is a
+        logic bug.
+        """
+        if self.full:
+            raise OverflowError(
+                f"trace RAM overflow: all {self.depth} slots written"
+            )
+        record = RawRecord(tag=tag & TAG_MASK, time=time & TIME_MASK)
+        self._slots.append(record)
+        return record
+
+    def erase(self) -> None:
+        """Clear all slots and reset the fill level (new capture)."""
+        self._slots.clear()
+
+    def records(self) -> tuple[RawRecord, ...]:
+        """All stored records in store order."""
+        return tuple(self._slots)
+
+    def remove_for_transfer(self) -> "TraceRam":
+        """Simulate pulling the battery-backed RAMs out of their sockets.
+
+        Returns a new :class:`TraceRam` carrying the contents; this RAM is
+        left empty (fresh chips socketed in their place).
+        """
+        carrier = TraceRam(depth=self.depth)
+        carrier._slots = list(self._slots)
+        self.erase()
+        return carrier

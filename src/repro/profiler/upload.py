@@ -1,0 +1,124 @@
+"""Getting the capture off the board and onto the analysis host.
+
+The paper's workflow: "the timing data is retrieved by transferring the
+RAMs into another networked embedded host, and copying the profile data to
+a UNIX host for processing."  The future-work section proposes reading the
+RAMs back *through* the EPROM window instead.  Both paths are modelled:
+
+* :func:`dump_records` / :func:`load_records` — the canonical 5-byte
+  big-endian record stream (16-bit tag, 24-bit time);
+* :func:`write_capture_file` / :func:`read_capture_file` — the stream with
+  a small self-identifying header, the on-disk interchange format;
+* :class:`EpromReadback` — the future-work mode: each RAM bank is
+  multiplexed into the EPROM address space and read as if it were an
+  EPROM, bank by bank.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO, Iterable, Sequence, Union
+
+from repro.profiler.ram import RawRecord, TraceRam
+
+#: Bytes per serialised record: 2 tag + 3 time.
+RECORD_BYTES = 5
+
+#: Capture-file magic: "McRae Profiler Format, version 1".
+MAGIC = b"MPF1"
+
+
+def dump_records(records: Iterable[RawRecord]) -> bytes:
+    """Serialise *records* to the raw 5-byte-per-record stream."""
+    out = io.BytesIO()
+    for record in records:
+        out.write(record.pack())
+    return out.getvalue()
+
+
+def load_records(blob: bytes) -> list[RawRecord]:
+    """Decode a raw record stream produced by :func:`dump_records`."""
+    if len(blob) % RECORD_BYTES:
+        raise ValueError(
+            f"record stream length {len(blob)} is not a multiple of {RECORD_BYTES}"
+        )
+    return [
+        RawRecord.unpack(blob[i : i + RECORD_BYTES])
+        for i in range(0, len(blob), RECORD_BYTES)
+    ]
+
+
+def write_capture_file(
+    path_or_file: Union[str, Path, BinaryIO], records: Sequence[RawRecord]
+) -> int:
+    """Write a capture file (magic + record count + record stream).
+
+    Returns the number of records written.
+    """
+    payload = MAGIC + len(records).to_bytes(4, "big") + dump_records(records)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(payload)  # type: ignore[union-attr]
+    else:
+        Path(path_or_file).write_bytes(payload)  # type: ignore[arg-type]
+    return len(records)
+
+
+def read_capture_file(path_or_file: Union[str, Path, BinaryIO]) -> list[RawRecord]:
+    """Read a capture file written by :func:`write_capture_file`."""
+    if hasattr(path_or_file, "read"):
+        blob = path_or_file.read()  # type: ignore[union-attr]
+    else:
+        blob = Path(path_or_file).read_bytes()  # type: ignore[arg-type]
+    if len(blob) < len(MAGIC) + 4 or blob[: len(MAGIC)] != MAGIC:
+        raise ValueError("not a Profiler capture file (bad magic)")
+    count = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 4], "big")
+    records = load_records(blob[len(MAGIC) + 4 :])
+    if len(records) != count:
+        raise ValueError(
+            f"capture file header claims {count} records but stream holds "
+            f"{len(records)}"
+        )
+    return records
+
+
+class EpromReadback:
+    """Future-work readback: multiplex each RAM bank into the EPROM window.
+
+    The board has five 8-bit RAM banks; selecting bank *b* makes byte *b*
+    of every record readable at the record's address, "and the data can be
+    read as if it were an EPROM".  The host reads all five banks and
+    reassembles records.
+    """
+
+    BANKS = RECORD_BYTES
+
+    def __init__(self, ram: TraceRam) -> None:
+        self.ram = ram
+        self.selected_bank = 0
+
+    def select_bank(self, bank: int) -> None:
+        """Flip the board's bank-select switches."""
+        if not (0 <= bank < self.BANKS):
+            raise ValueError(f"bank {bank} out of range 0..{self.BANKS - 1}")
+        self.selected_bank = bank
+
+    def read(self, address: int) -> int:
+        """Read one byte of the selected bank at record *address*."""
+        if not (0 <= address < self.ram.depth):
+            raise ValueError(f"address {address} outside RAM depth {self.ram.depth}")
+        if address >= len(self.ram):
+            return 0xFF
+        return self.ram[address].pack()[self.selected_bank]
+
+    def read_all(self) -> list[RawRecord]:
+        """Host-side procedure: read every bank, reassemble every record."""
+        banks: list[list[int]] = []
+        for bank in range(self.BANKS):
+            self.select_bank(bank)
+            banks.append([self.read(addr) for addr in range(len(self.ram))])
+        records = []
+        for i in range(len(self.ram)):
+            blob = bytes(banks[bank][i] for bank in range(self.BANKS))
+            records.append(RawRecord.unpack(blob))
+        return records

@@ -1,0 +1,97 @@
+"""Device plumbing shared by the simulated peripherals.
+
+Concrete devices (WD8003E Ethernet, IDE disk, console) live next to their
+drivers under :mod:`repro.kernel`; this module holds the pieces that are
+properties of the *machine* rather than of the kernel: the attachment
+protocol and the i8254-style programmable interval timer that produces the
+100 Hz clock interrupt the paper profiles ("the regular clock tick
+interrupt took on average 94 microseconds to execute").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.engine import InterruptLine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class Device:
+    """Base class for bus-attached devices.
+
+    Subclasses override :meth:`attach` to map their memory windows and
+    register interrupt lines, always calling ``super().attach(machine)``
+    first so ``self.machine`` is available.
+    """
+
+    name = "device"
+
+    def __init__(self) -> None:
+        self.machine: Optional["Machine"] = None
+
+    def attach(self, machine: "Machine") -> None:
+        """Wire the device into *machine*."""
+        self.machine = machine
+
+    def _require_machine(self) -> "Machine":
+        if self.machine is None:
+            raise RuntimeError(f"device {self.name!r} is not attached to a machine")
+        return self.machine
+
+
+class ClockChip(Device):
+    """An i8254-style interval timer generating the periodic clock tick.
+
+    386BSD programs channel 0 for 100 Hz; every delivery re-arms the next
+    tick relative to the *scheduled* time (not the delivery time) so the
+    tick train never drifts even when spl masking delays a delivery.
+    """
+
+    name = "i8254"
+    DEFAULT_HZ = 100
+
+    def __init__(self, hz: int = DEFAULT_HZ) -> None:
+        super().__init__()
+        if hz <= 0:
+            raise ValueError(f"clock rate must be positive, got {hz}")
+        self.hz = hz
+        self.period_ns = 1_000_000_000 // hz
+        self.line: Optional[InterruptLine] = None
+        self._next_due_ns = 0
+        self._running = False
+        self._tick_handler: Callable[[], None] = lambda: None
+        #: Ticks delivered since :meth:`program` (kernel statistics source).
+        self.ticks_delivered = 0
+
+    def attach(self, machine: "Machine") -> None:
+        super().attach(machine)
+        self.line = InterruptLine(
+            irq=0, name="clk0", ipl=machine.IPL_CLOCK, handler=self._fire
+        )
+
+    def program(self, tick_handler: Callable[[], None], start_ns: int = 0) -> None:
+        """Start the tick train; *tick_handler* is the kernel's hardclock."""
+        machine = self._require_machine()
+        if self.line is None:
+            raise RuntimeError("clock chip attached without an interrupt line")
+        self._tick_handler = tick_handler
+        self._running = True
+        self._next_due_ns = start_ns + self.period_ns
+        machine.interrupts.post(self.line, self._next_due_ns)
+
+    def stop(self) -> None:
+        """Halt the tick train and drop any pending tick."""
+        self._running = False
+        if self.machine is not None and self.line is not None:
+            self.machine.interrupts.cancel_line(self.line)
+
+    def _fire(self) -> None:
+        """Interrupt delivery: re-arm first, then run the kernel tick."""
+        machine = self._require_machine()
+        if self._running and self.line is not None:
+            self._next_due_ns += self.period_ns
+            machine.interrupts.post(self.line, self._next_due_ns)
+        self.ticks_delivered += 1
+        self._tick_handler()

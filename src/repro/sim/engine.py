@@ -1,0 +1,167 @@
+"""Deterministic event engine: simulated clock and interrupt queue.
+
+The simulator's notion of "real time" is a single integer nanosecond
+counter.  Devices *post* interrupts for future instants; the kernel's
+execution layer consumes them whenever simulated time advances past their
+due time **and** the current spl (interrupt priority level) does not mask
+them.  Interrupts masked by spl stay pending and are delivered when the
+level drops — exactly the behaviour the paper measures when it reports the
+cost of the ``spl*`` synchronisation routines on the 386's flat interrupt
+architecture.
+
+Determinism rules:
+
+* ties are broken by posting order (a monotone sequence number), and
+* nothing here reads the wall clock or a global RNG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class TimeError(Exception):
+    """An attempt to move simulated time backwards or by a negative step."""
+
+
+class SimClock:
+    """Monotonic simulated time in integer nanoseconds."""
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise TimeError(f"negative start time {start_ns}")
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time."""
+        return self._now_ns
+
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in whole microseconds (truncated)."""
+        return self._now_ns // 1_000
+
+    def tick(self, delta_ns: int) -> int:
+        """Advance by *delta_ns* and return the new time."""
+        if delta_ns < 0:
+            raise TimeError(f"cannot tick by negative {delta_ns} ns")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def advance_to(self, t_ns: int) -> int:
+        """Jump forward to absolute time *t_ns* (must not be in the past)."""
+        if t_ns < self._now_ns:
+            raise TimeError(
+                f"cannot move time backwards: now={self._now_ns} target={t_ns}"
+            )
+        self._now_ns = t_ns
+        return self._now_ns
+
+
+@dataclasses.dataclass(frozen=True)
+class InterruptLine:
+    """A hardware interrupt source (one IRQ line on the ISA bus).
+
+    ``ipl`` is the spl level that masks this line: the line is deliverable
+    only while the CPU's current level is *below* ``ipl``.  ``handler`` is
+    invoked by the kernel's dispatch layer with no arguments; devices close
+    over their own state.
+    """
+
+    irq: int
+    name: str
+    ipl: int
+    handler: Callable[[], None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InterruptLine(irq={self.irq}, name={self.name!r}, ipl={self.ipl})"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class PendingInterrupt:
+    """One posted interrupt awaiting delivery (heap-ordered by due time)."""
+
+    due_ns: int
+    seq: int
+    line: InterruptLine = dataclasses.field(compare=False)
+
+
+class InterruptQueue:
+    """Time-ordered queue of posted interrupts with spl-aware delivery.
+
+    The queue itself is policy-free: callers ask "what is due at time T
+    given that levels >= L are masked?" and pop accordingly.  Masked
+    interrupts remain queued (the real PIC holds the line asserted), which
+    is what produces the paper's deferred-delivery traces around
+    ``splnet``/``splx`` pairs.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[PendingInterrupt] = []
+        self._seq = itertools.count()
+        #: Count of interrupts ever posted, for statistics.
+        self.posted = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def post(self, line: InterruptLine, due_ns: int) -> PendingInterrupt:
+        """Schedule *line* to assert at absolute time *due_ns*."""
+        if due_ns < 0:
+            raise TimeError(f"interrupt due in negative time {due_ns}")
+        pending = PendingInterrupt(due_ns=due_ns, seq=next(self._seq), line=line)
+        heapq.heappush(self._heap, pending)
+        self.posted += 1
+        return pending
+
+    def next_due_ns(self, current_ipl: int = 0) -> Optional[int]:
+        """Earliest due time among deliverable (unmasked) interrupts.
+
+        Returns ``None`` when nothing deliverable is queued.  Masked
+        entries are skipped but kept.
+        """
+        deliverable = [p.due_ns for p in self._heap if p.line.ipl > current_ipl]
+        return min(deliverable) if deliverable else None
+
+    def next_any_due_ns(self) -> Optional[int]:
+        """Earliest due time regardless of masking (for idle-loop planning)."""
+        return self._heap[0].due_ns if self._heap else None
+
+    def pop_due(self, now_ns: int, current_ipl: int = 0) -> Optional[PendingInterrupt]:
+        """Remove and return the earliest deliverable interrupt due by *now_ns*.
+
+        The earliest-due deliverable entry wins even if an earlier-due
+        masked entry exists (the masked one keeps waiting).  Returns
+        ``None`` when nothing qualifies.
+        """
+        best_index: Optional[int] = None
+        for index, pending in enumerate(self._heap):
+            if pending.due_ns > now_ns:
+                continue
+            if pending.line.ipl <= current_ipl:
+                continue
+            if best_index is None or pending < self._heap[best_index]:
+                best_index = index
+        if best_index is None:
+            return None
+        pending = self._heap[best_index]
+        # O(n) removal is fine: the pending set is tiny (a handful of IRQs).
+        self._heap[best_index] = self._heap[-1]
+        self._heap.pop()
+        heapq.heapify(self._heap)
+        return pending
+
+    def cancel_line(self, line: InterruptLine) -> int:
+        """Drop every pending entry for *line*; return how many were dropped."""
+        before = len(self._heap)
+        self._heap = [p for p in self._heap if p.line is not line]
+        heapq.heapify(self._heap)
+        return before - len(self._heap)
+
+    def pending_for(self, line: InterruptLine) -> int:
+        """Number of queued entries for *line*."""
+        return sum(1 for p in self._heap if p.line is line)

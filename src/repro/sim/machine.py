@@ -1,0 +1,135 @@
+"""Machine assembly: clock + bus + CPU + interrupt queue + devices.
+
+A :class:`Machine` is the simulated PC the case-study kernel boots on.  It
+owns the global time base, the physical memory map (main DRAM below the ISA
+hole, device windows inside it) and the interrupt queue.  The Profiler
+attaches here too — but only through the generic EPROM-window mapping API,
+because to the machine the Profiler is just another ROM socket that happens
+to have something piggy-backed onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.bus import (
+    Bus,
+    BusError,
+    ISA_HOLE_END,
+    ISA_HOLE_START,
+    MemoryRegion,
+    Region,
+)
+from repro.sim.cpu import Cpu
+from repro.sim.devices import ClockChip, Device
+from repro.sim.engine import InterruptQueue, SimClock
+
+
+class Machine:
+    """The simulated target computer.
+
+    The default configuration matches the paper's case study: a 40 MHz 386
+    with 8 MB of main memory and a 100 Hz clock chip.  Devices are attached
+    by the kernel's autoconfiguration at boot.
+    """
+
+    # Interrupt priority levels, lowest to highest.  386BSD synthesises
+    # these in software (the paper's "grossest area of mismatch" remark);
+    # the numeric ordering is all the simulator needs.
+    IPL_NONE = 0
+    IPL_SOFTCLOCK = 1
+    IPL_NET = 2
+    IPL_BIO = 3
+    IPL_TTY = 4
+    IPL_CLOCK = 5
+    IPL_HIGH = 6
+
+    DEFAULT_MEMORY_BYTES = 8 * 1024 * 1024
+
+    def __init__(
+        self,
+        cpu: Optional[Cpu] = None,
+        memory_bytes: int = DEFAULT_MEMORY_BYTES,
+        clock_hz: int = ClockChip.DEFAULT_HZ,
+    ) -> None:
+        if memory_bytes <= 0:
+            raise ValueError(f"memory size must be positive, got {memory_bytes}")
+        self.cpu = cpu if cpu is not None else Cpu.i386_40mhz()
+        self.clock = SimClock()
+        self.bus = Bus(self.cpu.model)
+        self.interrupts = InterruptQueue()
+        self.devices: list[Device] = []
+
+        #: Conventional (main) memory, mapped below the ISA hole and, for
+        #: machines with more than 640 KB, remapped above 1 MB as well.
+        #: One region suffices for cost modelling.
+        self.main_memory = self.bus.map(
+            MemoryRegion(
+                name="main", base=0x0000_0000, size=ISA_HOLE_START, kind=Region.MAIN
+            )
+        )
+        self.memory_bytes = memory_bytes
+
+        self.clock_chip = ClockChip(hz=clock_hz)
+        self.attach(self.clock_chip)
+
+    # -- device management ---------------------------------------------------
+
+    def attach(self, device: Device) -> Device:
+        """Attach *device* to the machine (autoconfiguration step)."""
+        device.attach(self)
+        self.devices.append(device)
+        return device
+
+    def device_named(self, name: str) -> Device:
+        """Find an attached device by its ``name`` attribute."""
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"no device named {name!r} attached")
+
+    # -- ISA windows -----------------------------------------------------------
+
+    def map_isa_window(
+        self, name: str, base: int, size: int, kind: Region = Region.ISA8
+    ) -> MemoryRegion:
+        """Map a device memory window inside the ISA hole.
+
+        The paper: "The address space of the ROM falls somewhere in the ISA
+        bus memory address space, between (hex) A0000 and 100000."
+        """
+        if not (ISA_HOLE_START <= base and base + size <= ISA_HOLE_END):
+            raise BusError(
+                f"ISA window {name!r} [{base:#x},{base + size:#x}) falls outside "
+                f"the ISA hole [{ISA_HOLE_START:#x},{ISA_HOLE_END:#x})"
+            )
+        return self.bus.map(MemoryRegion(name=name, base=base, size=size, kind=kind))
+
+    def map_eprom_window(
+        self, name: str, base: int, size: int, on_read: Callable[[int], int]
+    ) -> MemoryRegion:
+        """Map an EPROM socket window with a read tap.
+
+        *on_read* receives the offset within the window for every byte read
+        — 16 address lines plus the chip-enable strobe, which is exactly
+        the set of signals the Profiler piggy-back cable carries.
+        """
+        if not (ISA_HOLE_START <= base and base + size <= ISA_HOLE_END):
+            raise BusError(
+                f"EPROM window {name!r} at {base:#x} is outside the ISA hole"
+            )
+        return self.bus.map(
+            MemoryRegion(name=name, base=base, size=size, kind=Region.EPROM, on_read=on_read)
+        )
+
+    # -- time helpers ---------------------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self.clock.now_ns
+
+    @property
+    def now_us(self) -> int:
+        """Current simulated time in whole microseconds."""
+        return self.clock.now_us

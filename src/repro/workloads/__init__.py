@@ -1,0 +1,40 @@
+"""The case-study workloads, one per experiment.
+
+Each workload builds the processes and remote hosts for one of the
+paper's measurements and runs the kernel until the scenario completes.
+They return small result records with the numbers the benchmarks check.
+"""
+
+from repro.workloads.network_recv import NetworkReceiveResult, SparcSender, network_receive
+from repro.workloads.network_send import NetworkSendResult, SinkReceiver, network_send
+from repro.workloads.forkexec import ForkExecResult, fork_exec_storm
+from repro.workloads.fileio import FileIoResult, file_write_storm, file_read_back
+from repro.workloads.nfsio import NfsIoResult, nfs_read_stream
+from repro.workloads.ttyio import TtyIoResult, attach_tty, type_and_read
+from repro.workloads.mixed import MixedResult, mixed_activity
+from repro.workloads.snmp import BtreeMib, LinearMib, SnmpResult, snmp_agent_run
+
+__all__ = [
+    "FileIoResult",
+    "ForkExecResult",
+    "MixedResult",
+    "NetworkReceiveResult",
+    "TtyIoResult",
+    "attach_tty",
+    "type_and_read",
+    "NfsIoResult",
+    "SparcSender",
+    "file_read_back",
+    "file_write_storm",
+    "fork_exec_storm",
+    "mixed_activity",
+    "network_receive",
+    "NetworkSendResult",
+    "SinkReceiver",
+    "network_send",
+    "nfs_read_stream",
+    "BtreeMib",
+    "LinearMib",
+    "SnmpResult",
+    "snmp_agent_run",
+]

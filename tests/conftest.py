@@ -1,0 +1,22 @@
+"""Shared pytest fixtures (builders live in stream_helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from stream_helpers import make_names
+
+
+@pytest.fixture
+def simple_names():
+    """A small kernel-ish name table used across callstack tests."""
+    return make_names(
+        ("main", 500),
+        ("read", 502),
+        ("bcopy", 504),
+        ("cksum", 506),
+        ("intr", 508),
+        ("tsleep", 510),
+        ("swtch", 600, "!"),
+        ("MGET", 1002, "="),
+    )

@@ -1,0 +1,54 @@
+"""Synthetic event-stream builders shared across the test suite."""
+
+from __future__ import annotations
+
+from repro.instrument.namefile import NameTable
+from repro.instrument.tags import TagEntry
+from repro.profiler.capture import Capture
+from repro.profiler.ram import RawRecord
+
+TIME_MASK = (1 << 24) - 1
+
+
+def make_names(*specs: tuple) -> NameTable:
+    """Build a name table from ``(name, value[, modifier])`` tuples.
+
+    Modifier ``"!"`` marks a context switch, ``"="`` an inline tag.
+    """
+    table = NameTable()
+    for spec in specs:
+        name, value = spec[0], spec[1]
+        modifier = spec[2] if len(spec) > 2 else ""
+        table.add(
+            TagEntry(
+                name=name,
+                value=value,
+                context_switch="!" in modifier,
+                inline="=" in modifier,
+            )
+        )
+    return table
+
+
+def stream(names: NameTable, *steps: tuple[str, str, int]) -> Capture:
+    """Build a capture from ``(op, name, time_us)`` steps.
+
+    ``op`` is ``">"`` (entry), ``"<"`` (exit) or ``"="`` (inline).  Times
+    are absolute microseconds; the builder wraps them into the 24-bit
+    counter exactly as the hardware would.
+    """
+    records = []
+    for op, name, time_us in steps:
+        entry = names.by_name(name)
+        if op == ">":
+            tag = entry.entry_value
+        elif op == "<":
+            tag = entry.exit_value
+        elif op == "=":
+            tag = entry.entry_value
+        else:
+            raise ValueError(f"bad op {op!r}")
+        records.append(RawRecord(tag=tag, time=time_us & TIME_MASK))
+    return Capture(records=tuple(records), names=names, label="synthetic")
+
+

@@ -1,0 +1,260 @@
+"""Tests for call-tree reconstruction and context-switch splitting."""
+
+from __future__ import annotations
+
+from repro.analysis.callstack import analyze_capture
+
+from stream_helpers import stream
+
+
+class TestSimpleNesting:
+    def test_single_call(self, simple_names):
+        analysis = analyze_capture(
+            stream(simple_names, (">", "main", 0), ("<", "main", 100))
+        )
+        (root,) = analysis.roots
+        assert root.name == "main"
+        assert root.self_us == 100
+        assert root.inclusive_us == 100
+        assert root.closed and not root.truncated
+
+    def test_nested_net_vs_elapsed(self, simple_names):
+        """The paper's tcp_input example: elapsed includes subroutines,
+        net excludes them."""
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "read", 10),
+                (">", "bcopy", 20),
+                ("<", "bcopy", 70),
+                ("<", "read", 90),
+                ("<", "main", 100),
+            )
+        )
+        (main,) = analysis.roots
+        read = main.children[0]
+        bcopy = read.children[0]
+        assert main.inclusive_us == 100 and main.self_us == 20
+        assert read.inclusive_us == 80 and read.self_us == 30
+        assert bcopy.inclusive_us == 50 and bcopy.self_us == 50
+
+    def test_sequential_siblings(self, simple_names):
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "bcopy", 5),
+                ("<", "bcopy", 15),
+                (">", "cksum", 20),
+                ("<", "cksum", 50),
+                ("<", "main", 60),
+            )
+        )
+        (main,) = analysis.roots
+        assert [c.name for c in main.children] == ["bcopy", "cksum"]
+        assert main.self_us == 60 - 10 - 30
+
+    def test_inline_marks_attach_to_innermost(self, simple_names):
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "read", 5),
+                ("=", "MGET", 7),
+                ("<", "read", 10),
+                ("<", "main", 20),
+            )
+        )
+        read = analysis.roots[0].children[0]
+        assert read.inline_marks == [(7, "MGET")]
+
+
+class TestContextSwitches:
+    def test_idle_time_is_swtch_self(self, simple_names):
+        """Paper: "The time in swtch itself is counted as CPU idle time,
+        except when device interrupts occur"."""
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "tsleep", 100),
+                (">", "swtch", 120),
+                # interrupt fires while idle: active, not idle
+                (">", "intr", 200),
+                ("<", "intr", 260),
+                ("<", "swtch", 300),
+                ("<", "tsleep", 310),
+                ("<", "main", 400),
+            )
+        )
+        # swtch self time: (200-120) + (300-260) = 120 us idle
+        assert analysis.idle_us == 120
+        assert analysis.busy_us == analysis.wall_us - 120
+        assert analysis.context_switches == 1
+
+    def test_suspended_stack_does_not_accumulate(self, simple_names):
+        """While proc A sleeps and proc B runs, A's open frames gain no
+        time (tsleep's "(22 us, 25 total)" in Figure 4)."""
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                # proc A runs, blocks
+                (">", "main", 0),
+                (">", "tsleep", 10),
+                (">", "swtch", 20),
+                ("<", "swtch", 30),      # switch in: next event is ENTRY
+                # proc B (fresh stack) runs 1000 us
+                (">", "read", 40),
+                (">", "tsleep", 900),
+                (">", "swtch", 910),
+                ("<", "swtch", 1030),    # switch back to A (exit tsleep next)
+                ("<", "tsleep", 1040),
+                ("<", "main", 1100),
+            )
+        )
+        (tsleep_a,) = [
+            n
+            for n in analysis.nodes_named("tsleep")
+            if n.proc == analysis.roots[0].proc
+        ]
+        # A's tsleep: 10 us before swtch entry + 10 us after switch-in;
+        # the 1000 us while B ran are not charged to it.
+        assert tsleep_a.self_us == (20 - 10) + (1040 - 1030)
+        # swtch subtree time is charged inside tsleep though:
+        assert tsleep_a.inclusive_us == tsleep_a.self_us + 10  # first swtch frame
+
+    def test_two_procs_resolved_by_matching_exit(self, simple_names):
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "tsleep", 10),
+                (">", "swtch", 20),
+                ("<", "swtch", 50),
+                (">", "read", 60),       # proc B starts fresh
+                (">", "tsleep", 70),
+                (">", "swtch", 80),
+                ("<", "swtch", 100),
+                ("<", "tsleep", 110),    # matches A's open tsleep
+                ("<", "main", 150),
+            )
+        )
+        procs = {root.proc for root in analysis.roots}
+        assert len(procs) == 2
+        main = analysis.nodes_named("main")[0]
+        assert main.closed and main.exit_us == 150
+
+    def test_single_proc_resumes_itself(self, simple_names):
+        """One process sleeping and waking: the same stack resumes."""
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "tsleep", 10),
+                (">", "swtch", 20),
+                ("<", "swtch", 500),
+                ("<", "tsleep", 510),
+                ("<", "main", 600),
+            )
+        )
+        assert len({root.proc for root in analysis.roots}) == 1
+        assert analysis.idle_us == 480
+
+    def test_unmatched_swtch_exit_tolerated(self, simple_names):
+        """Capture armed while the CPU was already idle inside swtch."""
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                ("<", "swtch", 100),
+                (">", "main", 110),
+                ("<", "main", 200),
+            )
+        )
+        kinds = [a.kind for a in analysis.anomalies]
+        assert "unmatched-swtch-exit" in kinds
+        assert analysis.context_switches == 1
+
+
+class TestTruncation:
+    def test_unmatched_exit_synthesised(self, simple_names):
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                ("<", "read", 50),
+                (">", "main", 60),
+                ("<", "main", 100),
+            )
+        )
+        synthetic = [n for n in analysis.nodes() if n.synthetic]
+        assert len(synthetic) == 1 and synthetic[0].name == "read"
+        assert any(a.kind == "unmatched-exit" for a in analysis.anomalies)
+
+    def test_open_frames_closed_at_end(self, simple_names):
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "read", 10),
+            )
+        )
+        read = analysis.nodes_named("read")[0]
+        assert read.truncated and read.exit_us == 10
+        main = analysis.nodes_named("main")[0]
+        assert main.truncated and main.exit_us == 10
+
+    def test_missed_exit_recovery(self, simple_names):
+        """An exit arriving for a function below the top closes the
+        intervening frames (multi-exit-point tolerance)."""
+        analysis = analyze_capture(
+            stream(
+                simple_names,
+                (">", "main", 0),
+                (">", "read", 10),
+                (">", "bcopy", 20),
+                ("<", "read", 40),   # bcopy's exit was never recorded
+                ("<", "main", 60),
+            )
+        )
+        assert any(a.kind == "missed-exit" for a in analysis.anomalies)
+        bcopy = analysis.nodes_named("bcopy")[0]
+        assert bcopy.truncated and bcopy.exit_us == 40
+        main = analysis.nodes_named("main")[0]
+        assert main.closed and not main.truncated
+
+    def test_empty_capture(self, simple_names):
+        analysis = analyze_capture(stream(simple_names))
+        assert analysis.roots == [] and analysis.wall_us == 0
+
+
+class TestConservation:
+    def test_time_is_conserved(self, simple_names):
+        """Wall time equals attributed frame time plus unattributed gaps."""
+        capture = stream(
+            simple_names,
+            (">", "main", 0),
+            (">", "bcopy", 10),
+            ("<", "bcopy", 30),
+            ("<", "main", 50),
+            (">", "read", 80),      # 30 us gap outside any frame
+            ("<", "read", 100),
+        )
+        analysis = analyze_capture(capture)
+        attributed = sum(n.self_us for n in analysis.nodes())
+        assert attributed + analysis.unattributed_us == analysis.wall_us
+
+    def test_inclusive_equals_subtree_self(self, simple_names):
+        capture = stream(
+            simple_names,
+            (">", "main", 0),
+            (">", "read", 10),
+            (">", "bcopy", 20),
+            ("<", "bcopy", 45),
+            ("<", "read", 70),
+            (">", "cksum", 75),
+            ("<", "cksum", 99),
+            ("<", "main", 120),
+        )
+        analysis = analyze_capture(capture)
+        for node in analysis.nodes():
+            assert node.inclusive_us == sum(d.self_us for d in node.walk())

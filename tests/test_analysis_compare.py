@@ -1,0 +1,92 @@
+"""Tests for the before/after comparison tooling."""
+
+from __future__ import annotations
+
+from repro.analysis.callstack import analyze_capture
+from repro.analysis.compare import FunctionDelta, compare_summaries
+from repro.analysis.summary import FunctionStats, ProfileSummary, summarize
+
+from stream_helpers import stream
+
+
+def summary_of(simple_names, *steps) -> ProfileSummary:
+    return summarize(analyze_capture(stream(simple_names, *steps)))
+
+
+class TestFunctionDelta:
+    def make(self, before_net, after_net) -> FunctionDelta:
+        def stats(net):
+            if net is None:
+                return None
+            return FunctionStats(
+                name="f", calls=1, elapsed_us=net, net_us=net, max_us=net, min_us=net
+            )
+
+        return FunctionDelta(name="f", before=stats(before_net), after=stats(after_net))
+
+    def test_delta_and_speedup(self):
+        delta = self.make(100, 25)
+        assert delta.net_delta_us == -75
+        assert delta.speedup == 4.0
+
+    def test_function_disappears(self):
+        delta = self.make(100, None)
+        assert delta.net_after_us == 0
+        assert delta.speedup == float("inf")
+
+    def test_function_appears(self):
+        delta = self.make(None, 50)
+        assert delta.net_delta_us == 50
+        assert delta.speedup == 0.0
+
+    def test_no_change(self):
+        delta = self.make(None, None)
+        assert delta.speedup == 1.0
+
+
+class TestProfileComparison:
+    def test_compare_real_summaries(self, simple_names):
+        before = summary_of(
+            simple_names,
+            (">", "main", 0),
+            (">", "cksum", 10),
+            ("<", "cksum", 110),
+            ("<", "main", 120),
+        )
+        after = summary_of(
+            simple_names,
+            (">", "main", 0),
+            (">", "cksum", 10),
+            ("<", "cksum", 20),
+            ("<", "main", 30),
+        )
+        diff = compare_summaries(before, after)
+        assert diff.wall_delta_us == -90
+        assert diff.wall_speedup == 4.0
+        cksum = diff.deltas["cksum"]
+        assert cksum.net_delta_us == -90
+        assert diff.biggest_movers(1)[0].name == "cksum"
+
+    def test_union_of_functions(self, simple_names):
+        before = summary_of(
+            simple_names, (">", "read", 0), ("<", "read", 10)
+        )
+        after = summary_of(
+            simple_names, (">", "bcopy", 0), ("<", "bcopy", 10)
+        )
+        diff = compare_summaries(before, after)
+        assert set(diff.deltas) == {"read", "bcopy"}
+        assert diff.deltas["read"].after is None
+        assert diff.deltas["bcopy"].before is None
+
+    def test_format(self, simple_names):
+        before = summary_of(
+            simple_names, (">", "main", 0), ("<", "main", 100)
+        )
+        after = summary_of(
+            simple_names, (">", "main", 0), ("<", "main", 40)
+        )
+        text = compare_summaries(before, after).format()
+        assert "2.50x" in text
+        assert "main" in text
+        assert "-60" in text

@@ -1,0 +1,101 @@
+"""Tests for tag decode and 24-bit time reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.events import (
+    EventKind,
+    decode_capture,
+    decode_records,
+    reconstruct_times,
+)
+from repro.profiler.ram import RawRecord
+
+from stream_helpers import make_names, stream
+
+
+class TestReconstructTimes:
+    def test_monotone_stream(self):
+        records = [RawRecord(tag=0, time=t) for t in (10, 20, 35)]
+        assert reconstruct_times(records) == [0, 10, 25]
+
+    def test_single_wrap(self):
+        records = [
+            RawRecord(tag=0, time=0xFFFFF0),
+            RawRecord(tag=0, time=0x000010),
+        ]
+        assert reconstruct_times(records) == [0, 0x20]
+
+    def test_multiple_wraps(self):
+        records = [
+            RawRecord(tag=0, time=0xFFFFFE),
+            RawRecord(tag=0, time=2),
+            RawRecord(tag=0, time=0xFFFFFF),
+            RawRecord(tag=0, time=5),
+        ]
+        times = reconstruct_times(records)
+        assert times == [0, 4, 4 + 0xFFFFFD, 4 + 0xFFFFFD + 6]
+
+    def test_empty(self):
+        assert reconstruct_times([]) == []
+
+    def test_out_of_range_time_rejected(self):
+        class Fake:
+            time = 1 << 24
+
+        with pytest.raises(ValueError):
+            reconstruct_times([Fake()])
+
+    @given(
+        gaps=st.lists(
+            st.integers(min_value=0, max_value=(1 << 24) - 1),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_any_sub_wrap_gaps_recovered(self, gaps):
+        """Property: absolute times are recovered exactly for any stream
+        whose inter-event gaps are below one wrap period."""
+        absolute = [0]
+        for gap in gaps:
+            absolute.append(absolute[-1] + gap)
+        records = [RawRecord(tag=0, time=t & 0xFFFFFF) for t in absolute]
+        assert reconstruct_times(records) == absolute
+
+
+class TestDecode:
+    def test_decode_kinds(self, simple_names):
+        capture = stream(
+            simple_names,
+            (">", "main", 0),
+            ("=", "MGET", 5),
+            ("<", "main", 10),
+        )
+        events = decode_capture(capture)
+        assert [e.kind for e in events] == [
+            EventKind.ENTRY,
+            EventKind.INLINE,
+            EventKind.EXIT,
+        ]
+        assert [e.name for e in events] == ["main", "MGET", "main"]
+        assert [e.time_us for e in events] == [0, 5, 10]
+
+    def test_unknown_tag(self, simple_names):
+        records = [RawRecord(tag=40_000, time=0)]
+        events = decode_records(records, simple_names)
+        assert events[0].kind is EventKind.UNKNOWN
+        assert events[0].name == "tag#40000"
+        assert events[0].entry is None
+
+    def test_context_switch_flag(self, simple_names):
+        capture = stream(simple_names, (">", "swtch", 0), ("<", "swtch", 9))
+        events = decode_capture(capture)
+        assert all(e.is_context_switch for e in events)
+
+    def test_indices_sequential(self, simple_names):
+        capture = stream(
+            simple_names, (">", "main", 0), (">", "read", 1), ("<", "read", 2)
+        )
+        assert [e.index for e in decode_capture(capture)] == [0, 1, 2]

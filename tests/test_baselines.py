@@ -1,0 +1,134 @@
+"""Tests for the rejected-method baselines and their documented flaws."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.benchmark_timing import ExternalBenchmark
+from repro.baselines.clock_profiler import ClockProfiler
+from repro.baselines.event_counters import snapshot_counters
+from repro.kernel.intr import IPL_HIGH, splhigh, splx
+from repro.kernel.sched import tsleep
+from repro.kernel.syscalls import syscall
+from repro.system import build_case_study
+from repro.workloads.network_recv import network_receive
+
+
+class TestClockProfiler:
+    def test_samples_the_hot_function(self):
+        """A sampler should at least see bcopy/in_cksum in the receive test."""
+        system = build_case_study(instrument=False)
+        sampler = ClockProfiler(rate_hz=2000)
+        system.machine.attach(sampler)
+        sampler.start(system.kernel)
+        network_receive(system.kernel, total_packets=20)
+        profile = sampler.stop()
+        assert profile.total_samples > 20
+        top_names = [name for name, _ in profile.top(6)]
+        assert "bcopy" in top_names or "in_cksum" in top_names
+
+    def test_overhead_grows_with_rate(self):
+        """The paper's granularity/perturbation trade-off, measured."""
+        slow_sys = build_case_study(instrument=False)
+        slow = ClockProfiler(rate_hz=500)
+        slow_sys.machine.attach(slow)
+        slow.start(slow_sys.kernel)
+        network_receive(slow_sys.kernel, total_packets=10)
+        slow_profile = slow.stop()
+
+        fast_sys = build_case_study(instrument=False)
+        fast = ClockProfiler(rate_hz=8000)
+        fast_sys.machine.attach(fast)
+        fast.start(fast_sys.kernel)
+        network_receive(fast_sys.kernel, total_packets=10)
+        fast_profile = fast.stop()
+
+        assert fast_profile.total_samples > slow_profile.total_samples
+        assert fast_profile.overhead_ns > 4 * slow_profile.overhead_ns
+
+    def test_perturbation_slows_the_workload(self):
+        baseline_sys = build_case_study(instrument=False)
+        baseline = network_receive(baseline_sys.kernel, total_packets=10)
+
+        sampled_sys = build_case_study(instrument=False)
+        sampler = ClockProfiler(rate_hz=10_000)
+        sampled_sys.machine.attach(sampler)
+        sampler.start(sampled_sys.kernel)
+        sampled = network_receive(sampled_sys.kernel, total_packets=10)
+        sampler.stop()
+        assert sampled.elapsed_us > baseline.elapsed_us
+
+    def test_masked_code_is_invisible(self):
+        """The sampler cannot see inside spl-masked regions — exactly why
+        the paper asks "what happens if one wishes to profile the clock
+        interrupt code itself?"."""
+        system = build_case_study(instrument=False)
+        kernel = system.kernel
+        sampler = ClockProfiler(rate_hz=5_000, ipl=IPL_HIGH)
+        system.machine.attach(sampler)
+        sampler.start(kernel)
+
+        def body(k, proc):
+            # 50 ms of work entirely under splhigh.
+            s = splhigh(k)
+            k.work(50_000_000)
+            splx(k, s)
+            yield from tsleep(k, "z", timo=1)
+            yield from syscall(k, proc, "exit", 0)
+
+        kernel.sched.spawn("masked", body)
+        kernel.sched.run(until_ns=30_000_000_000)
+        profile = sampler.stop()
+        # The masked section was ~all of the busy time, yet splhigh-level
+        # samples only land after the level drops.
+        assert profile.samples.get("splhigh", 0) == 0
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ClockProfiler(rate_hz=0)
+
+
+class TestEventCounters:
+    def test_snapshot_diffs_counters(self):
+        system = build_case_study()
+        with snapshot_counters(system.kernel) as snap:
+            network_receive(system.kernel, total_packets=8)
+        profile = snap.profile
+        assert profile is not None
+        assert profile.deltas["tcp_rcvpack"] == 8
+        assert profile.interval_us > 0
+        assert profile.rate_per_second("tcp_rcvpack") > 0
+
+    def test_no_time_attribution(self):
+        """The documented flaw: counters cannot say *where* time went."""
+        system = build_case_study()
+        with snapshot_counters(system.kernel) as snap:
+            network_receive(system.kernel, total_packets=4)
+        text = snap.profile.format()
+        assert "us" in text  # it knows the interval...
+        assert "bcopy_bytes" in snap.profile.deltas  # ...and counts...
+        # ...but there is no per-function time anywhere in the output.
+        assert "% real" not in text and "net" not in text.lower()
+
+    def test_format_lists_top_counters(self):
+        system = build_case_study()
+        with snapshot_counters(system.kernel) as snap:
+            network_receive(system.kernel, total_packets=4)
+        lines = snap.profile.format(limit=5).splitlines()
+        assert len(lines) <= 6
+
+
+class TestExternalBenchmark:
+    def test_measures_throughput_only(self):
+        system = build_case_study()
+        bench = ExternalBenchmark(system.kernel)
+        run = bench.measure(
+            "ttcp-recv",
+            lambda: network_receive(system.kernel, total_packets=8).bytes_received,
+        )
+        assert run.work_units == 8 * 1024
+        assert run.per_second > 0
+        report = bench.report()
+        assert "ttcp-recv" in report
+        # The method's blindness: no function names in its whole output.
+        assert "bcopy" not in report and "in_cksum" not in report

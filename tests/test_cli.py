@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import WORKLOADS, main
+
+
+def run_cli(*argv: str) -> list[str]:
+    lines: list[str] = []
+    code = main(list(argv), out=lines.append)
+    assert code == 0
+    return lines
+
+
+class TestCaptureCommand:
+    def test_network_summary(self):
+        lines = run_cli("capture", "--workload", "network", "--packets", "6")
+        text = "\n".join(lines)
+        assert "captured" in text
+        assert "Elapsed time" in text
+        assert "bcopy" in text
+
+    def test_multiple_reports(self):
+        lines = run_cli(
+            "capture",
+            "--workload",
+            "network",
+            "--packets",
+            "4",
+            "--report",
+            "summary",
+            "--report",
+            "flame",
+        )
+        text = "\n".join(lines)
+        assert "Elapsed time" in text
+        assert "[" in text  # flame bars
+
+    def test_gprof_and_folded(self):
+        lines = run_cli(
+            "capture", "--workload", "mixed", "--packets", "8",
+            "--report", "gprof", "--report", "folded",
+        )
+        text = "\n".join(lines)
+        assert "calls" in text
+        assert ";" in text  # folded stacks
+
+    def test_micro_profile_modules(self):
+        lines = run_cli(
+            "capture", "--workload", "network", "--packets", "4",
+            "--modules", "netinet,isa/if_we",
+        )
+        text = "\n".join(lines)
+        assert "tcp_input" in text
+        assert "pmap_remove" not in text
+
+    def test_save_and_analyze_roundtrip(self, tmp_path):
+        capture_file = tmp_path / "run.mpf"
+        names_file = tmp_path / "run.tags"
+        run_cli(
+            "capture", "--workload", "network", "--packets", "5",
+            "--save", str(capture_file), "--names", str(names_file),
+        )
+        assert capture_file.exists() and names_file.exists()
+        lines = run_cli(
+            "analyze", str(capture_file), "--names", str(names_file),
+            "--report", "trace",
+        )
+        text = "\n".join(lines)
+        assert "loaded" in text
+        assert "-> tcp_input" in text
+
+    def test_tty_workload(self):
+        lines = run_cli("capture", "--workload", "tty", "--packets", "20")
+        assert any("comintr" in line for line in lines)
+
+    def test_snmp_workload(self):
+        lines = run_cli(
+            "capture", "--workload", "snmp-btree", "--packets", "5"
+        )
+        assert any("mib_search_btree" in line for line in lines)
+
+
+class TestOtherCommands:
+    def test_workloads_listing(self):
+        lines = run_cli("workloads")
+        text = "\n".join(lines)
+        for name in WORKLOADS:
+            assert name in text
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["capture", "--workload", "nope"], out=lambda s: None)
+
+    def test_analyze_requires_names(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "whatever.mpf"], out=lambda s: None)

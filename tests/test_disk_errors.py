@@ -1,0 +1,178 @@
+"""Failure-injection tests: disk media errors through the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.drivers.wd import SECTORS_PER_BLOCK, WD_RETRIES
+from repro.kernel.fs.buf import BLOCK_BYTES
+from repro.kernel.kernel import Kernel
+from repro.kernel.proc import Proc
+from repro.kernel.syscalls import syscall
+from repro.workloads.fileio import seed_far_files
+
+
+def fskernel() -> Kernel:
+    kernel = Kernel()
+    kernel.boot(with_network=False, with_console=False)
+    return kernel
+
+
+def read_file(kernel: Kernel, path: str, length: int) -> dict:
+    state: dict = {}
+
+    def body(k, proc: Proc):
+        fd = yield from syscall(k, proc, "open", path)
+        try:
+            state["data"] = yield from syscall(k, proc, "read", fd, length)
+        except IOError as exc:
+            state["error"] = str(exc)
+        yield from syscall(k, proc, "exit", 0)
+
+    kernel.sched.spawn("reader", body)
+    kernel.sched.run(until_ns=kernel.machine.now_ns + 600_000_000_000)
+    return state
+
+
+class TestMediaErrors:
+    def seed(self, kernel: Kernel) -> int:
+        """Seed /near and return its first physical sector."""
+        seed_far_files(kernel, nblocks=2)
+        volume = kernel.filesystem.volume
+        inode = volume.iget(volume.root.entries["near"])
+        return inode.blocks[0] * SECTORS_PER_BLOCK
+
+    def test_bad_sector_raises_eio(self):
+        kernel = fskernel()
+        first_sector = self.seed(kernel)
+        kernel.filesystem.disk.inject_error(first_sector + 3)
+        state = read_file(kernel, "/near", BLOCK_BYTES)
+        assert "EIO" in state.get("error", "")
+
+    def test_driver_retries_before_failing(self):
+        kernel = fskernel()
+        first_sector = self.seed(kernel)
+        disk = kernel.filesystem.disk
+        disk.inject_error(first_sector)
+        read_file(kernel, "/near", BLOCK_BYTES)
+        assert disk.retries == WD_RETRIES
+        assert kernel.stats["wd_errors"] == WD_RETRIES + 1
+
+    def test_retries_cost_real_time(self):
+        """Each retry is a recalibrate + rotation: errors are slow."""
+        good = fskernel()
+        self.seed(good)
+        t0 = good.now_us
+        read_file(good, "/near", BLOCK_BYTES)
+        good_us = good.now_us - t0
+
+        bad = fskernel()
+        sector = self.seed(bad)
+        bad.filesystem.disk.inject_error(sector)
+        t0 = bad.now_us
+        read_file(bad, "/near", BLOCK_BYTES)
+        bad_us = bad.now_us - t0
+        # At least two recalibrate delays net of the skipped sector
+        # transfers (the failed read aborts the rest of the block).
+        assert bad_us > good_us + 2 * 8_000
+
+    def test_failed_read_not_cached(self):
+        """After a repair, a re-read succeeds (the error was not cached)."""
+        kernel = fskernel()
+        sector = self.seed(kernel)
+        disk = kernel.filesystem.disk
+        disk.inject_error(sector)
+        state = read_file(kernel, "/near", BLOCK_BYTES)
+        assert "error" in state
+        disk.repair(sector)
+        state2 = read_file(kernel, "/near", BLOCK_BYTES)
+        assert "error" not in state2
+        assert len(state2["data"]) == BLOCK_BYTES
+
+    def test_other_blocks_unaffected(self):
+        kernel = fskernel()
+        sector = self.seed(kernel)
+        disk = kernel.filesystem.disk
+        disk.inject_error(sector)  # block 0 is bad...
+        state: dict = {}
+
+        def body(k, proc: Proc):
+            fd = yield from syscall(k, proc, "open", "/near")
+            file = proc.file_for(fd)
+            file.offset = BLOCK_BYTES  # ...but block 1 is fine
+            state["data"] = yield from syscall(k, proc, "read", fd, 512)
+            yield from syscall(k, proc, "exit", 0)
+
+        kernel.sched.spawn("reader", body)
+        kernel.sched.run(until_ns=kernel.machine.now_ns + 600_000_000_000)
+        assert len(state["data"]) == 512
+
+    def test_writes_not_affected_by_read_errors(self):
+        kernel = fskernel()
+        disk = kernel.filesystem.disk
+        disk.inject_error(33 * SECTORS_PER_BLOCK)
+        state: dict = {}
+
+        def body(k, proc: Proc):
+            fd = yield from syscall(k, proc, "open", "/fresh", True)
+            state["n"] = yield from syscall(
+                k, proc, "write", fd, b"q" * BLOCK_BYTES, True
+            )
+            yield from syscall(k, proc, "exit", 0)
+
+        kernel.sched.spawn("writer", body)
+        kernel.sched.run(until_ns=kernel.machine.now_ns + 600_000_000_000)
+        assert state["n"] == BLOCK_BYTES
+
+
+class TestDisksort:
+    def test_elevator_order(self):
+        """Requests are served in one ascending sweep, not FIFO."""
+        from repro.kernel.drivers.wd import WdDisk, _disksort_insert
+
+        disk = WdDisk()
+        disk.current_cyl = 0
+
+        class Req:
+            def __init__(self, blkno):
+                self.blkno = blkno
+
+        for blkno in (900, 100, 500, 300, 700):
+            _disksort_insert(disk, Req(blkno))
+        assert [r.blkno for r in disk.queue] == [100, 300, 500, 700, 900]
+
+    def test_requests_behind_head_wait_for_next_sweep(self):
+        from repro.kernel.drivers.wd import (
+            SECTORS_PER_BLOCK,
+            SECTORS_PER_CYL,
+            WdDisk,
+            _disksort_insert,
+        )
+
+        disk = WdDisk()
+        # Head parked at cylinder 20 -> block ~640.
+        disk.current_cyl = 20
+        head_blk = 20 * SECTORS_PER_CYL // SECTORS_PER_BLOCK
+
+        class Req:
+            def __init__(self, blkno):
+                self.blkno = blkno
+
+        for blkno in (head_blk - 100, head_blk + 50, head_blk + 10):
+            _disksort_insert(disk, Req(blkno))
+        order = [r.blkno for r in disk.queue]
+        # Ahead-of-head requests first (ascending), then the wrap.
+        assert order == [head_blk + 10, head_blk + 50, head_blk - 100]
+
+    def test_elevator_reduces_total_seek_vs_fifo(self):
+        """The point of disksort: a scattered batch seeks less."""
+        from repro.kernel.drivers.wd import WdDisk
+
+        def total_seek(order):
+            disk = WdDisk()
+            disk.current_cyl = 0
+            return sum(disk.seek_ns(b * 16) for b in order)
+
+        fifo = total_seek([9000, 200, 7000, 400, 5000])
+        swept = total_seek(sorted([9000, 200, 7000, 400, 5000]))
+        assert swept < fifo

@@ -1,0 +1,198 @@
+"""Tests for the instrumentation pass and the two-stage linker."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.instrument.compiler import (
+    InstrumentingCompiler,
+    TRIGGER_INSN_BYTES,
+    TRIGGERS_PER_FUNCTION,
+)
+from repro.instrument.linker import (
+    FIXED_PAGES_AFTER_KERNEL,
+    KERNBASE,
+    LinkError,
+    ObjectModule,
+    PAGE_SIZE,
+    TwoStageLinker,
+    layout_for,
+    round_page,
+)
+from repro.instrument.namefile import NameTable
+
+
+@dataclasses.dataclass
+class FakeFunction:
+    name: str
+    module: str
+    is_asm: bool = False
+    context_switch: bool = False
+
+
+KERNEL_FUNCS = [
+    FakeFunction("main", "kern/init"),
+    FakeFunction("hardclock", "kern/clock"),
+    FakeFunction("swtch", "kern/sched", is_asm=True, context_switch=True),
+    FakeFunction("tcp_input", "netinet/tcp"),
+    FakeFunction("ipintr", "netinet/ip"),
+    FakeFunction("weintr", "isa/if_we"),
+    FakeFunction("bcopy", "i386/locore", is_asm=True),
+]
+
+
+class TestInstrumentingCompiler:
+    def test_whole_kernel_pass(self):
+        image = InstrumentingCompiler().compile(KERNEL_FUNCS)
+        assert image.profiled_functions == 7
+        assert image.c_functions == 5 and image.asm_functions == 2
+        assert image.trigger_points == 14
+        assert image.code_growth_bytes == 14 * TRIGGER_INSN_BYTES
+
+    def test_context_switch_flag_propagates(self):
+        image = InstrumentingCompiler().compile(KERNEL_FUNCS)
+        assert image.names.by_name("swtch").context_switch
+
+    def test_selective_module_compilation(self):
+        """The paper's micro-profiling knob: only the modules of interest
+        are compiled with profiling enabled."""
+        image = InstrumentingCompiler().compile(KERNEL_FUNCS, modules=["netinet"])
+        assert set(image.instrumented) == {"tcp_input", "ipintr"}
+
+    def test_exact_module_match(self):
+        image = InstrumentingCompiler().compile(KERNEL_FUNCS, modules=["kern/clock"])
+        assert set(image.instrumented) == {"hardclock"}
+
+    def test_predicate_selection(self):
+        image = InstrumentingCompiler().compile(
+            KERNEL_FUNCS, predicate=lambda f: f.is_asm
+        )
+        assert set(image.instrumented) == {"swtch", "bcopy"}
+
+    def test_inline_points_allocated(self):
+        image = InstrumentingCompiler().compile(
+            KERNEL_FUNCS, modules=[], inline_points=["MGET"]
+        )
+        assert image.inline_points == 1
+        assert image.names.by_name("MGET").inline
+        assert image.trigger_points == 1
+
+    def test_recompile_reuses_tags(self):
+        compiler = InstrumentingCompiler()
+        first = compiler.compile(KERNEL_FUNCS)
+        second = compiler.compile(KERNEL_FUNCS)
+        for name in first.instrumented:
+            assert first.instrumented[name].value == second.instrumented[name].value
+
+    def test_existing_name_table_respected(self):
+        names = NameTable()
+        names.seed(500)
+        names.allocate("tcp_input")
+        fixed = names.by_name("tcp_input").value
+        image = InstrumentingCompiler(names=names).compile(KERNEL_FUNCS)
+        assert image.instrumented["tcp_input"].value == fixed
+
+    def test_install_sets_profile_map(self):
+        image = InstrumentingCompiler().compile(
+            KERNEL_FUNCS, inline_points=["MGET"]
+        )
+
+        class KernelStub:
+            def set_profile_map(self, entry_tags, inline_tags):
+                self.entry_tags = entry_tags
+                self.inline_tags = inline_tags
+
+        stub = KernelStub()
+        image.install(stub)
+        assert "tcp_input" in stub.entry_tags
+        assert stub.inline_tags == {"MGET": image.names.by_name("MGET").value}
+        assert "MGET" not in stub.entry_tags
+
+    def test_asm_listing_matches_paper_shape(self):
+        image = InstrumentingCompiler().compile(KERNEL_FUNCS)
+        entry = image.instrumented["tcp_input"]
+        listing = InstrumentingCompiler.asm_listing("tcp_input", entry)
+        assert f"movb _ProfileBase+{entry.entry_value},%al" in listing
+        assert f"movb _ProfileBase+{entry.exit_value},%cl" in listing
+
+    def test_overhead_estimate_band(self):
+        """Paper: "around 1 to 1.2% extra CPU cycles"."""
+        compiler = InstrumentingCompiler()
+        image = compiler.compile(KERNEL_FUNCS)
+        overhead = compiler.overhead_estimate(
+            image, trigger_ns=200, mean_function_ns=36_000
+        )
+        assert 0.005 <= overhead <= 0.02
+
+    def test_overhead_estimate_validation(self):
+        compiler = InstrumentingCompiler()
+        image = compiler.compile(KERNEL_FUNCS)
+        with pytest.raises(ValueError):
+            compiler.overhead_estimate(image, trigger_ns=200, mean_function_ns=0)
+
+
+class TestTwoStageLinker:
+    MODULES = [
+        ObjectModule(name="locore.o", text_bytes=30_000, data_bytes=2_000),
+        ObjectModule(name="tcp_input.o", text_bytes=50_000, data_bytes=4_096),
+        ObjectModule(name="vm_fault.o", text_bytes=20_123, data_bytes=777),
+    ]
+
+    def test_round_page(self):
+        assert round_page(0) == 0
+        assert round_page(1) == PAGE_SIZE
+        assert round_page(PAGE_SIZE) == PAGE_SIZE
+        with pytest.raises(ValueError):
+            round_page(-1)
+
+    def test_layout_matches_figure2(self):
+        """Kernel at FE000000, ISA window after the rounded image plus the
+        fixed stack/udot pages, EPROM keeps its offset within the hole."""
+        layout = layout_for(kernel_size=123_456, eprom_phys=0xD0000)
+        expected_isa_va = (
+            KERNBASE + round_page(123_456) + FIXED_PAGES_AFTER_KERNEL * PAGE_SIZE
+        )
+        assert layout.isa_window_va == expected_isa_va
+        assert layout.profile_base_va == expected_isa_va + (0xD0000 - 0xA0000)
+
+    def test_profile_base_depends_on_kernel_size(self):
+        """The snag the two-stage link exists to solve."""
+        small = layout_for(kernel_size=100_000, eprom_phys=0xD0000)
+        large = layout_for(kernel_size=900_000, eprom_phys=0xD0000)
+        assert small.profile_base_va != large.profile_base_va
+
+    def test_link_converges_in_two_passes(self):
+        linked = TwoStageLinker(eprom_phys=0xD0000).link(self.MODULES)
+        assert linked.passes == 2
+        assert linked.profile_base == linked.layout.profile_base_va
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(LinkError):
+            TwoStageLinker(eprom_phys=0xD0000).link([])
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(LinkError):
+            TwoStageLinker(eprom_phys=0xD0000).link(
+                [self.MODULES[0], self.MODULES[0]]
+            )
+
+    def test_eprom_outside_hole_rejected(self):
+        with pytest.raises(LinkError):
+            TwoStageLinker(eprom_phys=0x10000)
+        with pytest.raises(LinkError):
+            layout_for(kernel_size=1, eprom_phys=0x200000)
+
+    def test_relocate_for_new_socket_relinks_only(self):
+        """Paper: moving the Profiler to a different ROM socket requires
+        editing only the assembler stub, then a relink."""
+        linker = TwoStageLinker(eprom_phys=0xD0000)
+        linked = linker.link(self.MODULES)
+        moved = linker.relocate_for_new_socket(linked, new_eprom_phys=0xC8000)
+        assert moved.modules == linked.modules
+        assert moved.profile_base == linked.profile_base - 0x8000
+
+    def test_negative_module_size_rejected(self):
+        with pytest.raises(LinkError):
+            ObjectModule(name="bad.o", text_bytes=-1, data_bytes=0)

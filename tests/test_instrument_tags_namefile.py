@@ -1,0 +1,216 @@
+"""Tests for the tag scheme and the name/tag file machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.instrument.namefile import (
+    NameFileError,
+    NameTable,
+    format_name_file,
+    parse_line,
+    parse_name_file,
+)
+from repro.instrument.tags import (
+    TagEntry,
+    TagError,
+    TagKind,
+    exit_tag,
+    is_entry_tag,
+)
+
+PAPER_SAMPLE = """\
+main/502
+hardclock/510
+gatherstats/512
+softclock/514
+timeout/516
+untimeout/518
+swtch/600!
+MGET/1002=
+"""
+
+
+class TestTagEntry:
+    def test_entry_exit_pairing(self):
+        entry = TagEntry(name="myfunction", value=1386)
+        assert entry.entry_value == 1386
+        assert entry.exit_value == 1387
+        assert entry.owned_values() == (1386, 1387)
+
+    def test_odd_entry_tag_rejected(self):
+        with pytest.raises(TagError):
+            TagEntry(name="f", value=501)
+
+    def test_inline_may_be_odd(self):
+        entry = TagEntry(name="MGET", value=1003, inline=True)
+        assert entry.owned_values() == (1003,)
+        with pytest.raises(TagError):
+            entry.exit_value
+
+    def test_inline_cannot_be_context_switch(self):
+        with pytest.raises(TagError):
+            TagEntry(name="x", value=2, inline=True, context_switch=True)
+
+    def test_kind_classification(self):
+        entry = TagEntry(name="f", value=10)
+        assert entry.kind_of(10) is TagKind.ENTRY
+        assert entry.kind_of(11) is TagKind.EXIT
+        with pytest.raises(TagError):
+            entry.kind_of(12)
+
+    def test_format_modifiers(self):
+        assert TagEntry(name="swtch", value=600, context_switch=True).format() == "swtch/600!"
+        assert TagEntry(name="MGET", value=1002, inline=True).format() == "MGET/1002="
+
+    def test_name_validation(self):
+        with pytest.raises(TagError):
+            TagEntry(name="", value=0)
+        with pytest.raises(TagError):
+            TagEntry(name="a b", value=0)
+
+    def test_helpers(self):
+        assert is_entry_tag(0) and is_entry_tag(65534)
+        assert not is_entry_tag(1) and not is_entry_tag(65535)
+        assert exit_tag(500) == 501
+        with pytest.raises(TagError):
+            exit_tag(501)
+
+
+class TestNameFileParsing:
+    def test_paper_sample_parses(self):
+        table = parse_name_file(PAPER_SAMPLE)
+        assert len(table) == 8
+        assert table.by_name("swtch").context_switch
+        assert table.by_name("MGET").inline
+        assert table.by_name("hardclock").value == 510
+
+    def test_roundtrip_canonical(self):
+        table = parse_name_file(PAPER_SAMPLE)
+        assert parse_name_file(format_name_file(table)) is not None
+        again = parse_name_file(format_name_file(table))
+        assert {e.format() for e in again} == {e.format() for e in table}
+
+    def test_blank_lines_and_comments_skipped(self):
+        table = parse_name_file("# comment\n\nmain/502\n")
+        assert len(table) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(NameFileError):
+            parse_name_file("no-slash-here\n")
+        with pytest.raises(NameFileError):
+            parse_name_file("f/notanumber\n")
+
+    def test_parse_line_none_for_blank(self):
+        assert parse_line("   ") is None
+        assert parse_line("# x") is None
+
+
+class TestNameTable:
+    def test_allocate_is_stable_across_recompiles(self):
+        """Paper: "Once generated, the same profile tags are used to allow
+        recompilation without having different profile tags assigned"."""
+        table = NameTable()
+        table.seed(500)
+        first = table.allocate("tcp_input")
+        second = table.allocate("tcp_input")
+        assert first is second
+
+    def test_allocate_next_higher_even(self):
+        table = parse_name_file(PAPER_SAMPLE)
+        entry = table.allocate("new_function")
+        assert entry.value == 1004  # next even above MGET/1002
+        assert entry.value % 2 == 0
+
+    def test_seed_sets_starting_value(self):
+        table = NameTable()
+        table.seed(500)
+        assert table.allocate("first").value == 502
+
+    def test_seed_requires_empty_table(self):
+        table = parse_name_file(PAPER_SAMPLE)
+        with pytest.raises(NameFileError):
+            table.seed(100)
+
+    def test_duplicate_name_conflict(self):
+        table = NameTable()
+        table.add(TagEntry(name="f", value=10))
+        with pytest.raises(NameFileError):
+            table.add(TagEntry(name="f", value=20))
+
+    def test_identical_readd_is_noop(self):
+        table = NameTable()
+        entry = TagEntry(name="f", value=10)
+        table.add(entry)
+        table.add(TagEntry(name="f", value=10))
+        assert len(table) == 1
+
+    def test_value_collision_rejected(self):
+        table = NameTable()
+        table.add(TagEntry(name="f", value=10))
+        with pytest.raises(NameFileError):
+            table.add(TagEntry(name="g", value=11, inline=True))
+
+    def test_decode_both_directions(self):
+        table = parse_name_file(PAPER_SAMPLE)
+        entry, kind = table.decode(510)
+        assert entry.name == "hardclock" and kind is TagKind.ENTRY
+        entry, kind = table.decode(511)
+        assert entry.name == "hardclock" and kind is TagKind.EXIT
+        assert table.decode(40_000) is None
+
+    def test_concatenation(self):
+        """Paper: multiple name/tag files may be concatenated."""
+        kernel = parse_name_file("main/502\n")
+        drivers = parse_name_file("weintr/700\n")
+        kernel.extend(drivers)
+        assert "weintr" in kernel and "main" in kernel
+
+    def test_context_switch_entries(self):
+        table = parse_name_file(PAPER_SAMPLE)
+        assert [e.name for e in table.context_switch_entries()] == ["swtch"]
+
+    def test_file_io_roundtrip(self, tmp_path):
+        table = parse_name_file(PAPER_SAMPLE)
+        path = tmp_path / "kernel.tags"
+        table.write(path)
+        again = NameTable.read(path)
+        assert len(again) == len(table)
+
+    def test_read_concatenates_files(self, tmp_path):
+        (tmp_path / "a.tags").write_text("main/502\n")
+        (tmp_path / "b.tags").write_text("weintr/700\n")
+        table = NameTable.read(tmp_path / "a.tags", tmp_path / "b.tags")
+        assert len(table) == 2
+
+    @given(count=st.integers(min_value=1, max_value=200))
+    def test_allocation_never_collides(self, count):
+        table = NameTable()
+        table.seed(500)
+        values: set[int] = set()
+        for i in range(count):
+            entry = table.allocate(f"fn_{i}")
+            owned = set(entry.owned_values())
+            assert not (owned & values)
+            values |= owned
+
+    @given(
+        names=st.lists(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll",)),
+                min_size=1,
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_format_parse_roundtrip_property(self, names):
+        table = NameTable()
+        table.seed(500)
+        for name in names:
+            table.allocate(name)
+        reparsed = parse_name_file(format_name_file(table))
+        assert {e.format() for e in reparsed} == {e.format() for e in table}

@@ -1,0 +1,269 @@
+"""Tests for the kernel execution core: advance, dispatch, spl, triggers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.compiler import InstrumentingCompiler
+from repro.kernel.intr import (
+    IPL_CLOCK,
+    IPL_NET,
+    spl0,
+    splhigh,
+    splnet,
+    splx,
+)
+from repro.kernel.kernel import Kernel, KernelConfigError
+from repro.kernel.kfunc import registered_functions
+from repro.profiler.eprom import PiggyBackAdapter
+from repro.profiler.hardware import ProfilerBoard
+from repro.sim.engine import InterruptLine
+
+
+def make_kernel() -> Kernel:
+    return Kernel()
+
+
+def line(kernel: Kernel, ipl: int, fired: list, name: str = "dev") -> InterruptLine:
+    return InterruptLine(
+        irq=5,
+        name=name,
+        ipl=ipl,
+        handler=lambda: fired.append(kernel.machine.now_ns),
+    )
+
+
+class TestAdvance:
+    def test_plain_advance_moves_time(self):
+        kernel = make_kernel()
+        kernel.advance(12_345)
+        assert kernel.machine.now_ns == 12_345
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            make_kernel().advance(-1)
+
+    def test_due_interrupt_delivered_mid_advance(self):
+        kernel = make_kernel()
+        fired: list[int] = []
+        kernel.machine.interrupts.post(line(kernel, IPL_NET, fired), due_ns=5_000)
+        kernel.advance(20_000)
+        assert len(fired) == 1
+        # Delivered at (or just after) its due time, not at the end.
+        assert fired[0] >= 5_000
+        assert fired[0] < 15_000
+        # The interrupted code still got its full 20 us of CPU.
+        assert kernel.machine.now_ns > 20_000
+
+    def test_masked_interrupt_deferred_until_spl_drops(self):
+        kernel = make_kernel()
+        fired: list[int] = []
+        kernel.machine.interrupts.post(line(kernel, IPL_NET, fired), due_ns=1_000)
+        s = splnet(kernel)
+        kernel.advance(50_000)
+        assert fired == []  # masked
+        splx(kernel, s)  # drops the level: delivery happens here
+        assert len(fired) == 1
+
+    def test_spl0_delivers_pending(self):
+        kernel = make_kernel()
+        fired: list[int] = []
+        kernel.machine.interrupts.post(line(kernel, IPL_NET, fired), due_ns=1_000)
+        splhigh(kernel)
+        kernel.advance(10_000)
+        assert fired == []
+        spl0(kernel)
+        assert len(fired) == 1
+
+    def test_higher_priority_nests_inside_lower(self):
+        kernel = make_kernel()
+        order: list[str] = []
+
+        def net_handler():
+            order.append("net-start")
+            kernel.work(100_000)  # long handler: clock fires inside
+            order.append("net-end")
+
+        def clock_handler():
+            order.append("clock")
+
+        net = InterruptLine(irq=9, name="net", ipl=IPL_NET, handler=net_handler)
+        clk = InterruptLine(irq=0, name="clk", ipl=IPL_CLOCK, handler=clock_handler)
+        kernel.machine.interrupts.post(net, due_ns=1_000)
+        kernel.machine.interrupts.post(clk, due_ns=30_000)
+        kernel.advance(10_000)
+        assert order == ["net-start", "clock", "net-end"]
+
+    def test_same_level_does_not_nest(self):
+        kernel = make_kernel()
+        depth = {"current": 0, "max": 0}
+
+        def handler():
+            depth["current"] += 1
+            depth["max"] = max(depth["max"], depth["current"])
+            kernel.work(50_000)
+            depth["current"] -= 1
+
+        net = InterruptLine(irq=9, name="net", ipl=IPL_NET, handler=handler)
+        for i in range(5):
+            kernel.machine.interrupts.post(net, due_ns=1_000 + i * 10_000)
+        kernel.advance(200_000)
+        assert depth["max"] == 1
+        assert kernel.stats["intr"] == 5
+
+
+class TestSpl:
+    def test_raise_and_restore(self):
+        kernel = make_kernel()
+        assert kernel.ipl == 0
+        s = splnet(kernel)
+        assert kernel.ipl == IPL_NET and s == 0
+        s2 = splhigh(kernel)
+        assert s2 == IPL_NET
+        splx(kernel, s2)
+        assert kernel.ipl == IPL_NET
+        splx(kernel, s)
+        assert kernel.ipl == 0
+
+    def test_splnet_does_not_lower(self):
+        kernel = make_kernel()
+        splhigh(kernel)
+        splnet(kernel)
+        assert kernel.ipl > IPL_NET  # raising primitive never lowers
+
+    def test_splnet_cost_calibration(self):
+        """Table 1: splnet ~11 us per call."""
+        kernel = make_kernel()
+        before = kernel.machine.now_ns
+        splnet(kernel)
+        cost_us = (kernel.machine.now_ns - before) / 1_000
+        assert 7 <= cost_us <= 14
+
+    def test_spl0_cost_calibration(self):
+        """Table 1: spl0 ~25 us per call (vs splx ~3 us)."""
+        kernel = make_kernel()
+        splhigh(kernel)
+        before = kernel.machine.now_ns
+        spl0(kernel)
+        spl0_us = (kernel.machine.now_ns - before) / 1_000
+        splhigh(kernel)
+        before = kernel.machine.now_ns
+        splx(kernel, IPL_NET)
+        splx_us = (kernel.machine.now_ns - before) / 1_000
+        assert 8 <= spl0_us <= 30
+        assert splx_us < spl0_us
+
+    def test_bad_splx_level_rejected(self):
+        with pytest.raises(ValueError):
+            splx(make_kernel(), 99)
+
+
+class TestTriggers:
+    def make_instrumented_kernel(self) -> tuple[Kernel, ProfilerBoard]:
+        import repro.kernel as kpkg
+
+        kpkg.import_all()
+        kernel = Kernel()
+        board = ProfilerBoard()
+        adapter = PiggyBackAdapter(board)
+        kernel.attach_profiler(adapter)
+        image = InstrumentingCompiler().compile(registered_functions())
+        image.install(kernel)
+        return kernel, board
+
+    def test_instrumented_function_records_events(self):
+        kernel, board = self.make_instrumented_kernel()
+        board.arm()
+        splnet(kernel)
+        assert board.events_stored == 2  # entry + exit
+        entry = kernel._entry_tags["splnet"]
+        assert board.ram[0].tag == entry
+        assert board.ram[1].tag == entry + 1
+
+    def test_disarmed_board_records_nothing_but_costs_remain(self):
+        kernel, board = self.make_instrumented_kernel()
+        before = kernel.machine.now_ns
+        splnet(kernel)
+        assert board.events_stored == 0
+        assert kernel.machine.now_ns > before  # triggers still executed
+
+    def test_uninstrumented_kernel_skips_triggers(self):
+        kernel = Kernel()
+        board = ProfilerBoard()
+        kernel.attach_profiler(PiggyBackAdapter(board))
+        board.arm()
+        splnet(kernel)
+        assert board.events_stored == 0
+
+    def test_triggers_without_board_is_config_error(self):
+        kernel = Kernel()
+        kernel.set_profile_map({"splnet": 500}, {})
+        with pytest.raises(KernelConfigError):
+            splnet(kernel)
+
+    def test_inline_trigger(self):
+        kernel, board = self.make_instrumented_kernel()
+        kernel.set_profile_map({}, {"MGET": 1002})
+        board.arm()
+        kernel.inline_trigger("MGET")
+        assert board.events_stored == 1
+        assert board.ram[0].tag == 1002
+
+    def test_clear_profile_map(self):
+        kernel, board = self.make_instrumented_kernel()
+        kernel.clear_profile_map()
+        board.arm()
+        splnet(kernel)
+        assert board.events_stored == 0
+        assert kernel.instrumented_functions == 0
+
+
+class TestSoftInterrupts:
+    def test_soft_interrupt_runs_when_level_permits(self):
+        kernel = make_kernel()
+        ran: list[str] = []
+        kernel.register_soft_interrupt("net", IPL_NET, lambda: ran.append("net"))
+        kernel.request_soft_interrupt("net")
+        s = splnet(kernel)
+        kernel.run_soft_interrupts()
+        assert ran == []  # masked at splnet
+        splx(kernel, s)
+        assert ran == ["net"]
+
+    def test_soft_interrupt_runs_at_its_level(self):
+        kernel = make_kernel()
+        seen: list[int] = []
+        kernel.register_soft_interrupt("net", IPL_NET, lambda: seen.append(kernel.ipl))
+        kernel.request_soft_interrupt("net")
+        kernel.run_soft_interrupts()
+        assert seen == [IPL_NET]
+        assert kernel.ipl == 0  # restored
+
+    def test_boot_is_one_shot(self):
+        kernel = make_kernel()
+        kernel.boot(with_network=False, with_disk=False, with_console=False)
+        with pytest.raises(KernelConfigError):
+            kernel.boot()
+
+
+class TestKstack:
+    def test_current_function_tracking(self):
+        kernel = make_kernel()
+        assert kernel.current_function == "<user>"
+        seen: list[str] = []
+
+        from repro.kernel.kfunc import kfunc
+
+        @kfunc(module="test/kstack", name="kstack_outer_fn")
+        def outer(k):
+            seen.append(k.current_function)
+            inner(k)
+            seen.append(k.current_function)
+
+        @kfunc(module="test/kstack", name="kstack_inner_fn")
+        def inner(k):
+            seen.append(k.current_function)
+
+        outer(kernel)
+        assert seen == ["kstack_outer_fn", "kstack_inner_fn", "kstack_outer_fn"]
+        assert kernel.kstack == []

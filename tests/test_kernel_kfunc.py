@@ -1,0 +1,131 @@
+"""Tests for the kernel-function registry and decorator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import import_all
+from repro.kernel.kfunc import (
+    KFuncError,
+    functions_in_modules,
+    kfunc,
+    lookup,
+    register_asm,
+    registered_functions,
+)
+from repro.kernel.kernel import Kernel
+
+
+class TestRegistry:
+    def test_import_all_registers_the_kernel(self):
+        import_all()
+        names = {meta.name for meta in registered_functions()}
+        # Spot-check every subsystem the paper profiles.
+        for expected in (
+            "bcopy",
+            "in_cksum",
+            "splnet",
+            "splx",
+            "spl0",
+            "soreceive",
+            "malloc",
+            "free",
+            "weintr",
+            "werint",
+            "weget",
+            "westart",
+            "ipintr",
+            "tcp_input",
+            "in_pcblookup",
+            "tsleep",
+            "falloc",
+            "fdalloc",
+            "swtch",
+            "pmap_remove",
+            "pmap_pte",
+            "pmap_enter",
+            "pmap_protect",
+            "vm_fault",
+            "vm_page_lookup",
+            "bcopyb",
+            "bzero",
+            "kmem_alloc",
+            "copyinstr",
+            "hardclock",
+            "gatherstats",
+            "softclock",
+            "timeout",
+            "untimeout",
+            "ISAINTR",
+            "wdintr",
+            "bread",
+            "bwrite",
+            "nfs_request",
+            "min",
+        ):
+            assert expected in names, f"{expected} missing from registry"
+
+    def test_registry_scale(self):
+        """The registry should be a real kernel's worth of functions."""
+        import_all()
+        assert len(registered_functions()) >= 100
+
+    def test_swtch_is_the_context_switch(self):
+        import_all()
+        meta = lookup("swtch")
+        assert meta.context_switch and meta.is_asm
+
+    def test_module_selection(self):
+        import_all()
+        net = functions_in_modules(["netinet"])
+        names = {meta.name for meta in net}
+        assert "tcp_input" in names and "ipintr" in names
+        assert "bread" not in names
+
+    def test_asm_flagging(self):
+        import_all()
+        assert lookup("bcopy").is_asm
+        assert not lookup("tcp_input").is_asm
+
+
+class TestDecorator:
+    def test_plain_function_cannot_sleep(self):
+        with pytest.raises(KFuncError):
+
+            @kfunc(module="test/bad", can_sleep=True)
+            def not_a_generator(k):
+                return 1
+
+    def test_generator_must_declare_can_sleep(self):
+        with pytest.raises(KFuncError):
+
+            @kfunc(module="test/bad2")
+            def sneaky_generator(k):
+                yield
+
+    def test_cross_module_name_collision_rejected(self):
+        @kfunc(module="test/one", name="collision_victim")
+        def first(k):
+            return 1
+
+        with pytest.raises(KFuncError):
+
+            @kfunc(module="test/two", name="collision_victim")
+            def second(k):
+                return 2
+
+    def test_wrapper_charges_base_cost(self):
+        @kfunc(module="test/cost", base_us=50.0, name="costly_test_fn")
+        def costly(k):
+            return "done"
+
+        kernel = Kernel()
+        before = kernel.machine.now_ns
+        assert costly(kernel) == "done"
+        elapsed = kernel.machine.now_ns - before
+        assert elapsed >= 50_000
+
+    def test_register_asm(self):
+        meta = register_asm("test_asm_routine", module="test/asm", base_us=5.0)
+        assert meta.is_asm
+        assert lookup("test_asm_routine") is meta

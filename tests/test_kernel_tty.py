@@ -1,0 +1,122 @@
+"""Tests for the serial tty: input interrupts, line discipline, reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.summary import summarize
+from repro.kernel.drivers.tty import CERASE, CKILL, ComPort, Tty, ttyinput
+from repro.kernel.kernel import Kernel
+from repro.system import build_case_study
+from repro.workloads.ttyio import attach_tty, type_and_read
+
+
+def tty_kernel() -> tuple[Kernel, ComPort, Tty]:
+    kernel = Kernel()
+    kernel.boot(with_network=False, with_disk=False, with_console=False)
+    port, tty = attach_tty(kernel)
+    return kernel, port, tty
+
+
+class TestLineDiscipline:
+    def test_line_assembly(self):
+        kernel, port, tty = tty_kernel()
+        for ch in b"ls -l\n":
+            ttyinput(kernel, tty, ch)
+        assert tty.canq == [b"ls -l\n"]
+        assert tty.rawq == []
+
+    def test_erase_character(self):
+        kernel, port, tty = tty_kernel()
+        for ch in b"lx":
+            ttyinput(kernel, tty, ch)
+        ttyinput(kernel, tty, CERASE)
+        for ch in b"s\n":
+            ttyinput(kernel, tty, ch)
+        assert tty.canq == [b"ls\n"]
+
+    def test_erase_on_empty_line(self):
+        kernel, port, tty = tty_kernel()
+        ttyinput(kernel, tty, CERASE)  # nothing to erase: no crash, no echo
+        assert tty.rawq == []
+
+    def test_kill_character(self):
+        kernel, port, tty = tty_kernel()
+        for ch in b"rm -rf /":
+            ttyinput(kernel, tty, ch)
+        ttyinput(kernel, tty, CKILL)
+        assert tty.rawq == []
+        for ch in b"ls\n":
+            ttyinput(kernel, tty, ch)
+        assert tty.canq == [b"ls\n"]
+
+    def test_echo_transmits(self):
+        kernel, port, tty = tty_kernel()
+        for ch in b"hi\n":
+            ttyinput(kernel, tty, ch)
+        assert port.tx_chars == 3
+
+    def test_echo_can_be_disabled(self):
+        kernel, port, tty = tty_kernel()
+        tty.echo = False
+        for ch in b"password\n":
+            ttyinput(kernel, tty, ch)
+        assert port.tx_chars == 0
+
+
+class TestTypeAndRead:
+    def test_lines_delivered_to_reader(self):
+        kernel, port, tty = tty_kernel()
+        result = type_and_read(kernel, text="one\ntwo\n")
+        assert result.lines_read == [b"one\n", b"two\n"]
+        assert result.overruns == 0
+
+    def test_typing_rate_spreads_interrupts(self):
+        kernel, port, tty = tty_kernel()
+        result = type_and_read(kernel, text="abc\n", char_gap_ns=9_000_000)
+        # Four characters at ~9 ms apart: the session spans >27 ms.
+        assert result.elapsed_us >= 27_000
+
+    def test_uart_overrun_on_burst(self):
+        """Two characters landing before the interrupt is serviced lose
+        the earlier one (the 8250's single holding register)."""
+        kernel, port, tty = tty_kernel()
+        from repro.kernel.intr import splhigh, spl0
+
+        splhigh(kernel)  # hold the interrupt off while both bytes land
+        port.type_text("ab", start_ns=kernel.machine.now_ns + 1_000, char_gap_ns=2_000)
+        kernel.advance(3_000_000)
+        spl0(kernel)
+        assert port.rx_overruns == 1
+        assert tty.rawq == [ord("b")]
+
+
+class TestTtyProfile:
+    def test_character_interrupt_is_measurable(self):
+        """The paper's rhetorical question, answered with a capture."""
+        system = build_case_study()
+        attach_tty(system.kernel)
+        capture = system.profile(
+            lambda: type_and_read(system.kernel, text="profile me\n" * 3)
+        )
+        summary = summarize(system.analyze(capture))
+        comintr = summary.get("comintr")
+        ttyin = summary.get("ttyinput")
+        assert comintr is not None and ttyin is not None
+        assert comintr.calls >= 33  # one interrupt per character
+        # Per-character cost is tens of microseconds, exactly resolvable.
+        assert 20 <= comintr.avg_us <= 150
+        assert summary.get("ttread") is not None
+
+    def test_tty_functions_selectable_as_module(self):
+        """Micro-profiling the tty subsystem alone (the paper's list:
+        "various drivers (SCSI, tty, IDE)")."""
+        system = build_case_study(profiled_modules=["kern/tty", "isa/com"])
+        attach_tty(system.kernel)
+        capture = system.profile(
+            lambda: type_and_read(system.kernel, text="x\n")
+        )
+        summary = summarize(system.analyze(capture))
+        names = set(summary.functions)
+        assert "ttyinput" in names
+        assert "bcopy" not in names  # nothing else was compiled with -profile

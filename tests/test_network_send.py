@@ -1,0 +1,84 @@
+"""Tests for the transmit path: active open and windowed stream send."""
+
+from __future__ import annotations
+
+from repro.analysis.summary import summarize
+from repro.system import build_case_study
+from repro.workloads.network_send import SinkReceiver, network_send
+
+
+class TestActiveOpen:
+    def test_connect_completes_and_is_timed(self):
+        system = build_case_study()
+        result = network_send(system.kernel, total_bytes=4 * 1024)
+        # "How long does it take to open a TCP connection?" — answered.
+        assert 300 <= result.connect_us <= 20_000
+
+    def test_handshake_sequence_numbers(self):
+        """The SYN carries iss; data starts at iss+1 (the off-by-one that
+        deadlocks the window if wrong)."""
+        system = build_case_study()
+        result = network_send(system.kernel, total_bytes=8 * 1024)
+        assert result.bytes_sent == 8 * 1024
+        assert result.sink_bytes == 8 * 1024
+
+
+class TestStreamSend:
+    def test_all_bytes_delivered(self):
+        system = build_case_study()
+        result = network_send(system.kernel, total_bytes=24 * 1024)
+        assert result.bytes_sent == result.sink_bytes == 24 * 1024
+
+    def test_window_throttles_sender(self):
+        """The sender must block on the 4 KB window and be ACK-clocked."""
+        system = build_case_study()
+        result = network_send(system.kernel, total_bytes=16 * 1024)
+        assert result.sink_bytes == 16 * 1024
+        # ACK clocking paces the stream: 16 segments cannot beat the
+        # per-segment transmit cost (driver copy + checksum ~1.3 ms).
+        assert result.elapsed_us >= 16 * 1_200
+
+    def test_transmit_profile_shape(self):
+        """On the send side the driver copy (main -> controller RAM) and
+        the output checksum are the hot pair."""
+        system = build_case_study()
+        capture = system.profile(
+            lambda: network_send(system.kernel, total_bytes=24 * 1024)
+        )
+        summary = summarize(system.analyze(capture))
+        top_names = [row.name for row in summary.rows()[:6]]
+        assert "bcopy" in top_names  # westart's copy into the controller
+        assert "in_cksum" in top_names
+        assert summary.get("westart").calls >= 24
+        assert summary.get("tcp_output").calls >= 24
+
+    def test_deterministic(self):
+        a = network_send(build_case_study().kernel, total_bytes=8 * 1024)
+        b = network_send(build_case_study().kernel, total_bytes=8 * 1024)
+        assert a.elapsed_us == b.elapsed_us
+        assert a.connect_us == b.connect_us
+
+    def test_sink_acks_out_of_order_duplicates(self):
+        sink = SinkReceiver()
+
+        class WireStub:
+            def __init__(self):
+                self.sent = []
+
+            def send_to_host(self, frame, at_ns):
+                self.sent.append(frame)
+
+        sink.wire = WireStub()
+        from repro.kernel.net.headers import TH_ACK, TH_SYN, build_tcp_frame
+        from repro.workloads.network_send import SINK_ADDR, SINK_PORT
+
+        syn = build_tcp_frame(1, SINK_ADDR, 7, SINK_PORT, seq=100, ack=0, flags=TH_SYN)
+        sink.receive(syn, 1_000)
+        assert len(sink.wire.sent) == 1  # SYN|ACK
+        # A data segment with a gap triggers an immediate duplicate ACK.
+        data = build_tcp_frame(
+            1, SINK_ADDR, 7, SINK_PORT, seq=999, ack=0, flags=TH_ACK, payload=b"x" * 10
+        )
+        sink.receive(data, 2_000)
+        assert len(sink.wire.sent) == 2
+        assert sink.bytes_received == 0

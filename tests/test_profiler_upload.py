@@ -1,0 +1,103 @@
+"""Tests for capture serialisation and the EPROM-readback path."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.profiler.ram import RawRecord, TraceRam
+from repro.profiler.upload import (
+    EpromReadback,
+    dump_records,
+    load_records,
+    read_capture_file,
+    write_capture_file,
+)
+
+records_strategy = st.lists(
+    st.builds(
+        RawRecord,
+        tag=st.integers(min_value=0, max_value=0xFFFF),
+        time=st.integers(min_value=0, max_value=0xFFFFFF),
+    ),
+    max_size=200,
+)
+
+
+class TestRecordStream:
+    def test_pack_layout(self):
+        blob = RawRecord(tag=0x1234, time=0x56789A).pack()
+        assert blob == bytes([0x12, 0x34, 0x56, 0x78, 0x9A])
+
+    def test_unpack_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            RawRecord.unpack(b"\x00" * 4)
+
+    def test_load_rejects_ragged_stream(self):
+        with pytest.raises(ValueError):
+            load_records(b"\x00" * 7)
+
+    @given(records=records_strategy)
+    def test_roundtrip(self, records):
+        assert load_records(dump_records(records)) == records
+
+
+class TestCaptureFile:
+    def test_file_roundtrip(self, tmp_path):
+        records = [RawRecord(tag=i, time=i * 10) for i in range(5)]
+        path = tmp_path / "run1.mpf"
+        assert write_capture_file(path, records) == 5
+        assert read_capture_file(path) == records
+
+    def test_stream_roundtrip(self):
+        records = [RawRecord(tag=1, time=2)]
+        buffer = io.BytesIO()
+        write_capture_file(buffer, records)
+        buffer.seek(0)
+        assert read_capture_file(buffer) == records
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            read_capture_file(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "short.mpf"
+        records = [RawRecord(tag=1, time=2)]
+        blob = b"MPF1" + (9).to_bytes(4, "big") + dump_records(records)
+        path.write_bytes(blob)
+        with pytest.raises(ValueError):
+            read_capture_file(path)
+
+
+class TestEpromReadback:
+    def test_bank_multiplexed_readback(self):
+        ram = TraceRam(depth=16)
+        stored = [RawRecord(tag=100 + i, time=1000 * i) for i in range(5)]
+        for record in stored:
+            ram.store(record.tag, record.time)
+        assert EpromReadback(ram).read_all() == stored
+
+    def test_unwritten_slots_float_high(self):
+        ram = TraceRam(depth=4)
+        ram.store(1, 1)
+        readback = EpromReadback(ram)
+        readback.select_bank(0)
+        assert readback.read(3) == 0xFF
+
+    def test_bank_bounds(self):
+        readback = EpromReadback(TraceRam(depth=4))
+        with pytest.raises(ValueError):
+            readback.select_bank(5)
+        with pytest.raises(ValueError):
+            readback.read(4)
+
+    @given(records=records_strategy.filter(lambda r: len(r) <= 64))
+    def test_readback_equals_direct_dump(self, records):
+        ram = TraceRam(depth=64)
+        for record in records:
+            ram.store(record.tag, record.time)
+        assert EpromReadback(ram).read_all() == list(ram.records())

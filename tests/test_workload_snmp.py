@@ -1,0 +1,83 @@
+"""Tests for the SNMP MIB-search case study structures and workload."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.system import build_case_study
+from repro.workloads.snmp import BtreeMib, LinearMib, make_mib, snmp_agent_run
+
+
+class TestMibStructures:
+    def test_linear_finds_everything(self):
+        entries = make_mib(100)
+        mib = LinearMib(entries)
+        for oid, value in entries:
+            found, _ = mib.lookup(oid)
+            assert found == value
+
+    def test_btree_finds_everything(self):
+        entries = make_mib(500)
+        mib = BtreeMib(entries)
+        for oid, value in entries:
+            found, _ = mib.lookup(oid)
+            assert found == value, f"B-tree lost {oid}"
+
+    def test_missing_oid(self):
+        entries = make_mib(50)
+        missing = (9, 9, 9)
+        assert LinearMib(entries).lookup(missing)[0] is None
+        assert BtreeMib(entries).lookup(missing)[0] is None
+
+    def test_btree_needs_far_fewer_comparisons(self):
+        entries = make_mib(600)
+        linear = LinearMib(entries)
+        btree = BtreeMib(entries)
+        linear_total = sum(linear.lookup(oid)[1] for oid, _ in entries)
+        btree_total = sum(btree.lookup(oid)[1] for oid, _ in entries)
+        assert linear_total > 10 * btree_total
+
+    @given(size=st.integers(min_value=1, max_value=900))
+    def test_btree_equivalent_to_linear(self, size):
+        """Property: both structures answer every query identically."""
+        entries = make_mib(size)
+        linear = LinearMib(entries)
+        btree = BtreeMib(entries)
+        probes = [entries[(i * 13) % size][0] for i in range(min(size, 25))]
+        probes.append((9, 9, 9, 9))
+        for oid in probes:
+            assert linear.lookup(oid)[0] == btree.lookup(oid)[0]
+
+
+class TestSnmpWorkload:
+    def test_agent_answers_all_requests(self):
+        system = build_case_study()
+        result = snmp_agent_run(
+            system.kernel, mib_kind="btree", mib_size=200, requests=10,
+            names=system.names,
+        )
+        assert result.hits == 10
+        assert result.comparisons > 0
+
+    def test_linear_agent_slower(self):
+        fast = build_case_study()
+        btree = snmp_agent_run(
+            fast.kernel, mib_kind="btree", mib_size=400, requests=10,
+            names=fast.names,
+        )
+        slow = build_case_study()
+        linear = snmp_agent_run(
+            slow.kernel, mib_kind="linear", mib_size=400, requests=10,
+            names=slow.names,
+        )
+        assert linear.us_per_request > 2 * btree.us_per_request
+
+    def test_unprofiled_run_supported(self):
+        system = build_case_study()
+        result = snmp_agent_run(
+            system.kernel, mib_kind="linear", mib_size=50, requests=5,
+            profile_user=False,
+        )
+        assert result.hits == 5
+        assert system.kernel.stats.get("user_triggers", 0) == 0

@@ -1,0 +1,150 @@
+"""Tests for the case-study workloads (deterministic end-to-end runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system import build_case_study
+from repro.workloads.fileio import file_read_back, file_write_storm
+from repro.workloads.forkexec import fork_exec_storm
+from repro.workloads.mixed import mixed_activity
+from repro.workloads.network_recv import SparcSender, network_receive
+from repro.workloads.nfsio import nfs_read_stream
+
+
+class TestNetworkReceive:
+    def test_all_bytes_arrive(self):
+        system = build_case_study()
+        result = network_receive(system.kernel, total_packets=12)
+        assert result.bytes_received == 12 * 1024
+        assert result.packets_sent == 12
+        assert result.reads > 0
+
+    def test_cpu_saturated(self):
+        """Paper: "This was the only test that caused the PC to be
+        totally CPU bound ... the CPU was busy 100% of the time"."""
+        system = build_case_study()
+        capture = system.profile(
+            lambda: network_receive(system.kernel, total_packets=25)
+        )
+        analysis = system.analyze(capture)
+        assert analysis.busy_fraction >= 0.95
+
+    def test_packet_cost_band(self):
+        """Paper: ~2000 us to process one (1 KB-payload) packet."""
+        system = build_case_study()
+        result = network_receive(system.kernel, total_packets=30)
+        per_packet_us = result.elapsed_us / result.packets_sent
+        assert 1_500 <= per_packet_us <= 3_200
+
+    def test_sender_validation(self):
+        with pytest.raises(ValueError):
+            SparcSender(total_packets=0)
+
+    def test_deterministic(self):
+        first = build_case_study()
+        r1 = network_receive(first.kernel, total_packets=8)
+        second = build_case_study()
+        r2 = network_receive(second.kernel, total_packets=8)
+        assert r1.elapsed_us == r2.elapsed_us
+        assert r1.bytes_received == r2.bytes_received
+
+
+class TestForkExec:
+    def test_latency_bands(self):
+        """Paper: vfork ~24 ms, execve ~28 ms, pair ~52 ms."""
+        system = build_case_study()
+        result = fork_exec_storm(system.kernel, iterations=2)
+        assert len(result.fork_us) == 2 and len(result.exec_us) == 2
+        assert 12_000 <= result.mean_fork_us <= 34_000
+        assert 18_000 <= result.mean_exec_us <= 40_000
+        assert 32_000 <= result.mean_pair_us <= 70_000
+
+    def test_children_reaped(self):
+        system = build_case_study()
+        fork_exec_storm(system.kernel, iterations=2)
+        zombies = [
+            p
+            for p in system.kernel.sched.procs.all()
+            if p.state.value == "zomb" and p.name != "forktest"
+        ]
+        assert zombies == []  # wait() reaped every child
+
+    def test_console_prints_cause_scrolls(self):
+        system = build_case_study()
+        fork_exec_storm(system.kernel, iterations=2, print_status=True)
+        assert system.kernel.console.scrolls >= 1
+
+
+class TestFileIo:
+    def test_write_storm_disk_bound(self):
+        """Paper: "the CPU was only busy for 28% of the time when doing a
+        large number of writes"."""
+        system = build_case_study()
+        capture = system.profile(lambda: file_write_storm(system.kernel, nblocks=16))
+        analysis = system.analyze(capture)
+        assert analysis.busy_fraction <= 0.55
+        assert analysis.busy_fraction >= 0.15
+
+    def test_write_storm_moves_all_bytes(self):
+        system = build_case_study()
+        result = file_write_storm(system.kernel, nblocks=10)
+        assert result.bytes_moved == 10 * 8192
+        assert system.kernel.filesystem.disk.writes >= 10 * 16
+
+    def test_read_back_latency_band(self):
+        """Paper: reads 18..26 ms each."""
+        system = build_case_study()
+        result = file_read_back(system.kernel, nblocks=10)
+        mean_ms = result.mean_op_us / 1_000
+        assert 14 <= mean_ms <= 28
+        assert len(result.per_op_us) == 20
+
+    def test_read_back_returns_real_data(self):
+        system = build_case_study()
+        result = file_read_back(system.kernel, nblocks=4)
+        assert result.bytes_moved == 2 * 4 * 8192
+
+
+class TestNfsIo:
+    def test_stream_reads_whole_file(self):
+        system = build_case_study()
+        result = nfs_read_stream(system.kernel, file_bytes=24 * 1024)
+        assert result.bytes_read == 24 * 1024
+        assert result.rpc_turnaround_us
+
+    def test_nfs_beats_ftp_without_checksums(self):
+        """The paper's inversion: with UDP checksums off, NFS outruns an
+        FTP-style TCP stream on this CPU-bound machine."""
+        nfs_system = build_case_study()
+        nfs = nfs_read_stream(nfs_system.kernel, file_bytes=48 * 1024)
+        tcp_system = build_case_study()
+        tcp = network_receive(tcp_system.kernel, total_packets=48)
+        assert nfs.throughput_kbps > tcp.throughput_kbps
+
+    def test_checksums_erase_the_advantage(self):
+        without = nfs_read_stream(
+            build_case_study().kernel, file_bytes=48 * 1024, with_checksums=False
+        )
+        with_ck = nfs_read_stream(
+            build_case_study().kernel, file_bytes=48 * 1024, with_checksums=True
+        )
+        assert with_ck.throughput_kbps < without.throughput_kbps
+        assert with_ck.bytes_read == without.bytes_read
+
+    def test_bad_stream_count_rejected(self):
+        with pytest.raises(ValueError):
+            nfs_read_stream(
+                build_case_study().kernel, file_bytes=1024, readahead_streams=0
+            )
+
+
+class TestMixed:
+    def test_touches_every_subsystem(self):
+        system = build_case_study()
+        result = mixed_activity(system.kernel, rounds=3)
+        assert result.faults == 3 * 8
+        stats = system.kernel.stats
+        assert stats["v_zfod"] >= result.faults
+        assert stats["kmem_pages"] > 0
+        assert system.kernel.filesystem.disk is not None
