@@ -1,0 +1,203 @@
+"""SCALE — the streaming/sharded pipeline against a million-event stream.
+
+The paper's board holds 16384 events; this benchmark plays the long-run
+scenario the streaming pipeline exists for: a synthetic stream of one
+million records (many thousand scheduling blocks, dozens of 24-bit timer
+wraps) analysed three ways —
+
+* batch: decode everything, build the full call forest, summarise;
+* streaming: one pass of :class:`SummaryAccumulator`, no tree;
+* sharded: quiescent-boundary shards on 4 workers, merged.
+
+Asserted claims: the streaming and sharded paths are at least 3x faster
+than batch in wall-clock, all three produce byte-identical summary text,
+and streaming peak memory is bounded (a 10x longer stream must not cost
+even 2x the peak).  A second test checks the same byte-identity on the
+real Figure 3 and Figure 5 workloads.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Iterator
+
+from paperbench import once
+
+from repro.analysis.callstack import analyze_capture
+from repro.analysis.pipeline import analyze_sharded
+from repro.analysis.summary import summarize, summarize_records
+from repro.instrument.namefile import NameTable
+from repro.instrument.tags import TagEntry
+from repro.profiler.capture import Capture
+from repro.profiler.ram import RawRecord
+from repro.system import build_case_study
+
+MASK = (1 << 24) - 1
+
+
+def _scale_names() -> NameTable:
+    """Eight rotating kernel functions plus the context-switch marker."""
+    table = NameTable()
+    for i in range(8):
+        table.add(TagEntry(name=f"kfunc{i}", value=500 + 2 * i))
+    table.add(TagEntry(name="swtch", value=600, context_switch=True))
+    return table
+
+
+SCALE_NAMES = _scale_names()
+
+
+def synthetic_stream(total_events: int) -> Iterator[RawRecord]:
+    """A deterministic stream of scheduling blocks, lazily generated.
+
+    Each 8-record block is one scheduling quantum: ``swtch`` exit, three
+    nested-free call pairs over rotating functions, ``swtch`` entry.  The
+    24-bit counter wraps naturally every ~16.8 s of simulated time.
+    """
+    entries = [SCALE_NAMES.by_name(f"kfunc{i}") for i in range(8)]
+    swtch = SCALE_NAMES.by_name("swtch")
+    t = 0
+    emitted = 0
+    block = 0
+    while emitted < total_events:
+        yield RawRecord(tag=swtch.exit_value, time=t & MASK)
+        emitted += 1
+        t += 7
+        for k in range(3):
+            if emitted >= total_events:
+                return
+            fn = entries[(block + k) % 8]
+            yield RawRecord(tag=fn.entry_value, time=t & MASK)
+            emitted += 1
+            t += 11
+            if emitted >= total_events:
+                return
+            yield RawRecord(tag=fn.exit_value, time=t & MASK)
+            emitted += 1
+            t += 5
+        if emitted >= total_events:
+            return
+        yield RawRecord(tag=swtch.entry_value, time=t & MASK)
+        emitted += 1
+        t += 23
+        block += 1
+
+
+def run_scale(total_events: int) -> dict:
+    records = list(synthetic_stream(total_events))
+    capture = Capture(records=tuple(records), names=SCALE_NAMES, label="scale")
+
+    start = time.perf_counter()
+    batch = summarize(analyze_capture(capture))
+    batch_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    streamed = summarize_records(iter(records), SCALE_NAMES)
+    stream_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = analyze_sharded(records, SCALE_NAMES, workers=4)
+    shard_s = time.perf_counter() - start
+
+    return {
+        "events": len(records),
+        "batch_s": batch_s,
+        "stream_s": stream_s,
+        "shard_s": shard_s,
+        "shards": sharded.shard_count,
+        "batch_text": batch.format(),
+        "stream_text": streamed.format(),
+        "shard_text": sharded.summary.format(),
+    }
+
+
+def test_scale_million_events(benchmark, comparison):
+    result = once(benchmark, run_scale, 1_000_000)
+
+    stream_x = result["batch_s"] / result["stream_s"]
+    shard_x = result["batch_s"] / result["shard_s"]
+    comparison.row("events analysed", "1000000", result["events"])
+    comparison.row("shards (16384-event)", ">= 61", result["shards"])
+    comparison.row("batch wall", "--", f"{result['batch_s']:.2f} s")
+    comparison.row("streaming wall", ">= 3x faster", f"{result['stream_s']:.2f} s")
+    comparison.row("sharded wall (4 workers)", ">= 3x faster", f"{result['shard_s']:.2f} s")
+    comparison.row("streaming speedup", ">= 3x", f"{stream_x:.1f}x")
+    comparison.row("sharded speedup", ">= 3x", f"{shard_x:.1f}x")
+
+    assert result["events"] == 1_000_000
+    assert result["shards"] >= 61  # 1M events / 16384-per-shard
+    # The scaling claim: both bounded-memory paths beat batch by >= 3x.
+    assert result["stream_s"] * 3 <= result["batch_s"], (
+        f"streaming only {stream_x:.2f}x faster than batch"
+    )
+    assert result["shard_s"] * 3 <= result["batch_s"], (
+        f"sharded only {shard_x:.2f}x faster than batch"
+    )
+    # ... and both are byte-identical to the batch summary.
+    assert result["stream_text"] == result["batch_text"]
+    assert result["shard_text"] == result["batch_text"]
+
+
+def streaming_peak_bytes(total_events: int) -> int:
+    """Peak allocation of the streaming path fed straight off a generator."""
+    stream = synthetic_stream(total_events)
+    tracemalloc.start()
+    try:
+        summarize_records(stream, SCALE_NAMES)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_scale_bounded_memory(comparison):
+    small = streaming_peak_bytes(100_000)
+    large = streaming_peak_bytes(1_000_000)
+    comparison.row("peak RSS @ 100k events", "O(chunk)", f"{small / 1024:.0f} KiB")
+    comparison.row("peak RSS @ 1M events", "O(chunk)", f"{large / 1024:.0f} KiB")
+    # 10x the events must not cost even 2x the peak: memory is bounded by
+    # open-call depth + live table size, not by trace length.
+    assert large < 2 * small + 64 * 1024, (
+        f"streaming peak grew from {small} to {large} bytes over 10x events"
+    )
+
+
+def figure_parity(workload: str) -> tuple[str, str, str]:
+    system = build_case_study()
+    if workload == "figure3":
+        from repro.workloads.network_recv import network_receive
+
+        capture = system.profile(
+            lambda: network_receive(system.kernel, total_packets=20),
+            label="TCP receive (Figure 3)",
+        )
+    else:
+        from repro.workloads.forkexec import fork_exec_storm
+
+        capture = system.profile(
+            lambda: fork_exec_storm(system.kernel, iterations=2),
+            label="fork/exec storm (Figure 5)",
+        )
+    batch = system.summarize(capture).format()
+    streamed = system.summarize_streaming(capture).format()
+    sharded = system.summarize_sharded(
+        capture, workers=4, max_shard_events=2048
+    ).summary.format()
+    return batch, streamed, sharded
+
+
+def test_figure3_reports_byte_identical(benchmark, comparison):
+    batch, streamed, sharded = once(benchmark, figure_parity, "figure3")
+    comparison.row("Figure 3 stream == batch", "identical", streamed == batch)
+    comparison.row("Figure 3 sharded == batch", "identical", sharded == batch)
+    assert streamed == batch
+    assert sharded == batch
+
+
+def test_figure5_reports_byte_identical(benchmark, comparison):
+    batch, streamed, sharded = once(benchmark, figure_parity, "figure5")
+    comparison.row("Figure 5 stream == batch", "identical", streamed == batch)
+    comparison.row("Figure 5 sharded == batch", "identical", sharded == batch)
+    assert streamed == batch
+    assert sharded == batch

@@ -22,11 +22,13 @@ from typing import Callable, Optional, Sequence
 from repro.analysis.callstack import analyze_capture
 from repro.analysis.folded import flame_ascii, to_folded
 from repro.analysis.gprof import gprof_report
+from repro.analysis.pipeline import DEFAULT_SHARD_EVENTS, analyze_sharded
 from repro.analysis.timeline import render_timeline
-from repro.analysis.summary import summarize
+from repro.analysis.summary import summarize, summarize_records
 from repro.analysis.trace import format_trace
 from repro.instrument.namefile import NameTable
 from repro.profiler.capture import Capture
+from repro.profiler.upload import iter_capture_file
 from repro.system import build_case_study
 
 WORKLOADS: dict[str, str] = {
@@ -113,7 +115,46 @@ def _print_reports(
         out("")
 
 
+def _check_pipeline_flags(args: argparse.Namespace) -> None:
+    """Validate the streaming/sharded flags against the requested reports.
+
+    Both alternate pipelines produce the function summary only — every
+    other report needs the materialised call tree, which is exactly what
+    they exist to avoid building.
+    """
+    if args.stream and args.shards is not None:
+        raise SystemExit("--stream and --shards are mutually exclusive")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards needs at least 1 worker, got {args.shards}")
+    if args.shard_events < 1:
+        raise SystemExit(f"--shard-events must be positive, got {args.shard_events}")
+    if (args.stream or args.shards is not None) and args.report != ["summary"]:
+        raise SystemExit(
+            "--stream/--shards produce the summary report only; drop the "
+            "other --report choices or run without the pipeline flags"
+        )
+
+
+def _print_sharded_summary(
+    capture: Capture, args: argparse.Namespace, out: Callable
+) -> None:
+    result = analyze_sharded(
+        capture.records,
+        capture.names,
+        max_shard_events=args.shard_events,
+        workers=args.shards,
+        width_bits=capture.counter_width_bits,
+    )
+    out(
+        f"sharded analysis: {result.shard_count} shard(s) of <= "
+        f"{args.shard_events} events on {result.workers} worker(s)"
+    )
+    out(result.summary.format(limit=args.summary_limit))
+    out("")
+
+
 def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
+    _check_pipeline_flags(args)
     modules = args.modules.split(",") if args.modules else None
     system = build_case_study(profiled_modules=modules)
     out(
@@ -134,15 +175,35 @@ def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
     if args.names:
         system.names.write(args.names)
         out(f"name/tag file written to {args.names}")
-    _print_reports(capture, args.report, args.summary_limit, out)
+    if args.stream:
+        out(summarize_records(iter(capture.records), capture.names).format(
+            limit=args.summary_limit
+        ))
+        out("")
+    elif args.shards is not None:
+        _print_sharded_summary(capture, args, out)
+    else:
+        _print_reports(capture, args.report, args.summary_limit, out)
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
+    _check_pipeline_flags(args)
     names = NameTable.read(*args.names)
+    if args.stream:
+        # Never materialise the capture: decode and summarise straight off
+        # the file in O(chunk) memory.
+        summary = summarize_records(iter_capture_file(args.capture), names)
+        out(f"streamed {summary.event_count} events from {args.capture}")
+        out(summary.format(limit=args.summary_limit))
+        out("")
+        return 0
     capture = Capture.load(args.capture, names, label=f"cli: {args.capture}")
     out(f"loaded {len(capture)} events from {args.capture}")
-    _print_reports(capture, args.report, args.summary_limit, out)
+    if args.shards is not None:
+        _print_sharded_summary(capture, args, out)
+    else:
+        _print_reports(capture, args.report, args.summary_limit, out)
     return 0
 
 
@@ -150,6 +211,24 @@ def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
     for name, description in WORKLOADS.items():
         out(f"  {name:<12} {description}")
     return 0
+
+
+def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="summarise via the streaming accumulator (O(chunk) memory; "
+        "summary report only)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="summarise via the sharded pipeline on N parallel workers "
+        "(summary report only)",
+    )
+    parser.add_argument(
+        "--shard-events", type=int, default=DEFAULT_SHARD_EVENTS,
+        help=f"target events per shard (default {DEFAULT_SHARD_EVENTS}, "
+        "one board RAM)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     capture.add_argument("--save", default=None, help="write raw records here")
     capture.add_argument("--names", default=None, help="write the name/tag file here")
+    _add_pipeline_flags(capture)
     capture.set_defaults(func=cmd_capture)
 
     analyze = sub.add_parser("analyze", help="analyse a saved capture file")
@@ -188,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="append", choices=REPORTS, default=None
     )
     analyze.add_argument("--summary-limit", type=int, default=12)
+    _add_pipeline_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     workloads = sub.add_parser("workloads", help="list available workloads")

@@ -18,7 +18,12 @@ turns that list into the paper's two reports and the future-work extras:
 * :mod:`repro.analysis.reports` — one-call assembly of the full report.
 """
 
-from repro.analysis.events import DecodedEvent, EventKind, decode_capture
+from repro.analysis.events import (
+    DecodedEvent,
+    EventKind,
+    decode_capture,
+    iter_decoded_events,
+)
 from repro.analysis.callstack import (
     Anomaly,
     CallNode,
@@ -26,7 +31,23 @@ from repro.analysis.callstack import (
     analyze_capture,
     build_call_tree,
 )
-from repro.analysis.summary import FunctionStats, ProfileSummary, summarize
+from repro.analysis.pipeline import (
+    DEFAULT_SHARD_EVENTS,
+    ShardPlan,
+    ShardedAnalysis,
+    analyze_capture_sharded,
+    analyze_sharded,
+    plan_shards,
+)
+from repro.analysis.summary import (
+    FunctionStats,
+    ProfileSummary,
+    SummaryAccumulator,
+    summarize,
+    summarize_capture,
+    summarize_capture_streaming,
+    summarize_records,
+)
 from repro.analysis.trace import format_trace, trace_lines
 from repro.analysis.histogram import FunctionHistogram, histogram_for
 from repro.analysis.graph import call_graph, subsystem_rollup
@@ -40,8 +61,19 @@ __all__ = [
     "Anomaly",
     "CallNode",
     "CallTreeAnalysis",
+    "DEFAULT_SHARD_EVENTS",
     "DecodedEvent",
     "EventKind",
+    "ShardPlan",
+    "ShardedAnalysis",
+    "SummaryAccumulator",
+    "analyze_capture_sharded",
+    "analyze_sharded",
+    "iter_decoded_events",
+    "plan_shards",
+    "summarize_capture",
+    "summarize_capture_streaming",
+    "summarize_records",
     "FunctionHistogram",
     "FunctionStats",
     "ProfileSummary",

@@ -181,7 +181,12 @@ class _Resolver:
         of capture) without such an exit.
         """
         depth = 0
-        for event in itertools.islice(self._events, index, None):
+        # Indexed loop, not islice: islice steps through the first *index*
+        # elements to skip them, which turns a long capture with many
+        # context switches into an O(n^2) analysis.
+        events = self._events
+        for i in range(index, len(events)):
+            event = events[i]
             if event.kind is EventKind.ENTRY:
                 if event.is_context_switch:
                     return None

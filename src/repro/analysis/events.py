@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.instrument.namefile import NameTable
 from repro.instrument.tags import TagEntry, TagKind
@@ -90,35 +90,64 @@ def decode_capture(capture: Capture) -> list[DecodedEvent]:
     )
 
 
-def decode_records(
-    records: Sequence[RawRecord], names: NameTable, width_bits: int = 24
-) -> list[DecodedEvent]:
-    """Decode a raw record sequence against *names*."""
-    times = reconstruct_times(records, width_bits=width_bits)
-    events: list[DecodedEvent] = []
-    for index, (record, time_us) in enumerate(zip(records, times)):
+def iter_decoded_events(
+    records: Iterable[RawRecord],
+    names: NameTable,
+    width_bits: int = 24,
+    *,
+    start_index: int = 0,
+    time_base_us: int = 0,
+) -> Iterator[DecodedEvent]:
+    """Decode a record stream lazily, one event at a time.
+
+    The streaming twin of :func:`decode_records`: *records* may be any
+    iterable (a generator draining a capture file chunk by chunk), and the
+    only state held between events is the previous counter snapshot and
+    the running absolute time — O(1) memory regardless of trace length,
+    with the 24-bit wrap handled across chunk boundaries exactly as in
+    :func:`reconstruct_times`.
+
+    ``start_index`` and ``time_base_us`` let a caller decode a *slice* of
+    a longer run (a shard) while keeping indices and timestamps in the
+    whole-run frame of reference.
+    """
+    mask = (1 << width_bits) - 1
+    absolute = time_base_us
+    previous: Optional[int] = None
+    index = start_index
+    for record in records:
+        if record.time > mask:
+            raise ValueError(
+                f"record time {record.time} exceeds the {width_bits}-bit counter"
+            )
+        if previous is not None:
+            absolute += (record.time - previous) & mask
+        previous = record.time
         decoded = names.decode(record.tag)
         if decoded is None:
-            events.append(
-                DecodedEvent(
-                    index=index,
-                    time_us=time_us,
-                    kind=EventKind.UNKNOWN,
-                    name=f"tag#{record.tag}",
-                    entry=None,
-                    raw=record,
-                )
-            )
-            continue
-        entry, tag_kind = decoded
-        events.append(
-            DecodedEvent(
+            yield DecodedEvent(
                 index=index,
-                time_us=time_us,
+                time_us=absolute,
+                kind=EventKind.UNKNOWN,
+                name=f"tag#{record.tag}",
+                entry=None,
+                raw=record,
+            )
+        else:
+            entry, tag_kind = decoded
+            yield DecodedEvent(
+                index=index,
+                time_us=absolute,
                 kind=_KIND_FROM_TAG[tag_kind],
                 name=entry.name,
                 entry=entry,
                 raw=record,
             )
-        )
-    return events
+        index += 1
+
+
+def decode_records(
+    records: Sequence[RawRecord], names: NameTable, width_bits: int = 24
+) -> list[DecodedEvent]:
+    """Decode a raw record sequence against *names*."""
+    return list(iter_decoded_events(records, names, width_bits=width_bits))

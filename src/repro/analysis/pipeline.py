@@ -1,0 +1,339 @@
+"""Sharded, parallel analysis of captures far beyond one RAM of events.
+
+The paper's board stops at 16384 events; a long profiling run is therefore
+a sequence of back-to-back captures.  This module turns that constraint
+into the scaling strategy (LTTng-style streaming trace consumption): split
+one long record stream into shards at context-switch boundaries, analyse
+every shard independently with :class:`~repro.analysis.summary.SummaryAccumulator`
+workers, and merge the per-shard aggregates into one report that is
+byte-identical to what the batch pipeline produces over the whole stream.
+
+Shard boundaries are *quiescent* ``swtch`` entries: the moment the kernel
+enters the idle loop with every reconstructed process stack empty and the
+very next event being the matching ``swtch`` exit.  Cutting there loses no
+call state — the only thing spanning the cut is idle-loop time, which the
+planner measures (the *bridge*) and the merge re-adds exactly once.  When
+a stretch of the stream has no quiescent point within the shard budget the
+planner grows the shard rather than cut unsafely: correctness over strict
+shard size.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.analysis.callstack import Anomaly
+from repro.analysis.summary import (
+    ProfileSummary,
+    SummaryAccumulator,
+    _ENTRY,
+    _EXIT,
+    _INLINE,
+    build_tag_map,
+)
+from repro.instrument.namefile import NameTable
+from repro.profiler.capture import Capture
+from repro.profiler.ram import RawRecord
+
+#: Stock board depth — the natural shard size for back-to-back captures.
+DEFAULT_SHARD_EVENTS = 16384
+
+#: Default worker count when the caller does not choose one.
+DEFAULT_WORKERS = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """One shard of a long run: ``records[start:stop]``.
+
+    ``time_base_us`` is the absolute time of the shard's first event in
+    the whole-run timeline; ``bridge_us`` is the idle interval from this
+    shard's final event (a quiescent ``swtch`` entry) to the next shard's
+    first event (its ``swtch`` exit) — time neither shard can see, merged
+    back in exactly once.
+    """
+
+    start: int
+    stop: int
+    time_base_us: int
+    bridge_us: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclasses.dataclass
+class ShardedAnalysis:
+    """The merged product of a sharded run."""
+
+    summary: ProfileSummary
+    anomalies: list[Anomaly]
+    plans: list[ShardPlan]
+    workers: int
+    context_switches: int
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.plans)
+
+    @property
+    def event_count(self) -> int:
+        return self.summary.event_count
+
+
+def _unwind_name(
+    records: Sequence[RawRecord], start: int, tag_map: dict
+) -> Optional[str]:
+    """Mirror of ``_Resolver._unwinding_exit`` over raw records."""
+    depth = 0
+    get = tag_map.get
+    for i in range(start, len(records)):
+        info = get(records[i].tag)
+        if info is None:
+            continue
+        name, code, is_cs = info
+        if code == _ENTRY:
+            if is_cs:
+                return None
+            depth += 1
+        elif code == _EXIT:
+            if depth > 0:
+                depth -= 1
+            else:
+                return name
+    return None
+
+
+def plan_shards(
+    records: Sequence[RawRecord],
+    names: NameTable,
+    *,
+    max_shard_events: int = DEFAULT_SHARD_EVENTS,
+    width_bits: int = 24,
+) -> list[ShardPlan]:
+    """Find quiescent cut points and pack them into shard plans.
+
+    The scanner replays only the *stack shape* of the reconstruction —
+    frame names, suspensions and switch-in resolution, no times and no
+    aggregation — so it costs a fraction of a full analysis pass and the
+    expensive per-event work stays inside the parallel shard workers.
+    """
+    if max_shard_events <= 0:
+        raise ValueError(f"max_shard_events must be positive, got {max_shard_events}")
+    n = len(records)
+    if n == 0:
+        return []
+    tag_map = build_tag_map(names)
+    mask = (1 << width_bits) - 1
+    get = tag_map.get
+
+    # (cut_after_index, bridge_us, absolute time of next shard's first event)
+    candidates: list[tuple[int, int, int]] = []
+    current: list[str] = []
+    suspended: list[list] = []  # [suspend_seq, frames]
+    seq = 0
+    absolute = 0
+    previous: Optional[int] = None
+
+    for i in range(n):
+        record = records[i]
+        traw = record.time
+        if previous is not None:
+            absolute += (traw - previous) & mask
+        previous = traw
+        info = get(record.tag)
+        if info is None:
+            continue
+        name, code, is_cs = info
+        if code == _ENTRY:
+            if (
+                is_cs
+                and not current
+                and i + 1 < n
+                and all(not frames for _, frames in suspended)
+            ):
+                nxt = get(records[i + 1].tag)
+                if nxt is not None and nxt[1] == _EXIT and nxt[2]:
+                    bridge = (records[i + 1].time - traw) & mask
+                    candidates.append((i, bridge, absolute + bridge))
+            current.append(name)
+        elif code == _EXIT:
+            if is_cs:
+                if name in current:
+                    while current and current[-1] != name:
+                        current.pop()
+                    if current:
+                        current.pop()
+                suspended.append([seq, current])
+                seq += 1
+                unwind = _unwind_name(records, i + 1, tag_map)
+                chosen = None
+                if unwind is not None:
+                    matches = [
+                        stack
+                        for stack in suspended
+                        if stack[1] and stack[1][-1] == unwind
+                    ]
+                    if matches:
+                        chosen = min(matches, key=lambda s: s[0])
+                else:
+                    empty = [stack for stack in suspended if not stack[1]]
+                    if empty:
+                        chosen = min(empty, key=lambda s: s[0])
+                if chosen is None:
+                    current = []
+                else:
+                    suspended.remove(chosen)
+                    current = chosen[1]
+            else:
+                if name in current:
+                    while current and current[-1] != name:
+                        current.pop()
+                    if current:
+                        current.pop()
+        # _INLINE and unknown tags have no stack effect.
+
+    plans: list[ShardPlan] = []
+    start = 0
+    base = 0
+    ci = 0
+    while True:
+        if n - start <= max_shard_events:
+            # The remainder fits in one shard: no reason to cut again.
+            plans.append(ShardPlan(start=start, stop=n, time_base_us=base, bridge_us=0))
+            return plans
+        chosen_cut: Optional[tuple[int, int, int]] = None
+        # Skip candidates behind the current shard start.
+        while ci < len(candidates) and candidates[ci][0] < start:
+            ci += 1
+        # The last in-budget candidate wins; an oversized first candidate
+        # beats cutting nowhere.
+        j = ci
+        while j < len(candidates) and candidates[j][0] - start + 1 <= max_shard_events:
+            chosen_cut = candidates[j]
+            j += 1
+        if chosen_cut is None and ci < len(candidates):
+            chosen_cut = candidates[ci]
+        if chosen_cut is None:
+            plans.append(ShardPlan(start=start, stop=n, time_base_us=base, bridge_us=0))
+            return plans
+        cut, bridge, next_base = chosen_cut
+        plans.append(
+            ShardPlan(start=start, stop=cut + 1, time_base_us=base, bridge_us=bridge)
+        )
+        start = cut + 1
+        base = next_base
+        ci = j
+
+
+def _analyze_shard(
+    records: Sequence[RawRecord],
+    names: NameTable,
+    plan: ShardPlan,
+    width_bits: int,
+) -> SummaryAccumulator:
+    accumulator = SummaryAccumulator(
+        names,
+        width_bits=width_bits,
+        start_index=plan.start,
+        time_base_us=plan.time_base_us,
+    )
+    accumulator.feed_records(records[plan.start : plan.stop])
+    return accumulator.close()
+
+
+def _drop_boundary_artifact(accumulator: SummaryAccumulator, plan: ShardPlan) -> None:
+    """Remove the one anomaly that sharding itself manufactures.
+
+    Every shard after the first opens on a ``swtch`` exit whose entry
+    lives in the previous shard; the worker (correctly, in isolation)
+    reports it as an unmatched context-switch exit.  The batch pipeline,
+    seeing the whole stream, reports nothing there — so the merge drops it
+    to keep anomaly lists identical.
+    """
+    for j, anomaly in enumerate(accumulator.anomalies):
+        if anomaly.index == plan.start and anomaly.kind == "unmatched-swtch-exit":
+            del accumulator.anomalies[j]
+            return
+
+
+def analyze_sharded(
+    records: Sequence[RawRecord],
+    names: NameTable,
+    *,
+    max_shard_events: int = DEFAULT_SHARD_EVENTS,
+    workers: Optional[int] = None,
+    width_bits: int = 24,
+    use_processes: bool = False,
+) -> ShardedAnalysis:
+    """Shard, analyse concurrently, and merge deterministically.
+
+    Shards run on a :class:`concurrent.futures` pool (threads by default;
+    ``use_processes=True`` ships record slices to worker processes, which
+    pays pickling cost but escapes the GIL on multi-core hosts).  The
+    merge is strictly in shard order regardless of completion order, so
+    the result is deterministic and byte-identical to the batch pipeline's
+    summary for the same records.
+    """
+    plans = plan_shards(
+        records, names, max_shard_events=max_shard_events, width_bits=width_bits
+    )
+    if not plans:
+        empty = SummaryAccumulator(names, width_bits=width_bits)
+        return ShardedAnalysis(
+            summary=empty.summary(),
+            anomalies=[],
+            plans=[],
+            workers=0,
+            context_switches=0,
+        )
+    pool_size = max(1, workers if workers is not None else DEFAULT_WORKERS)
+    pool_size = min(pool_size, len(plans))
+    if pool_size == 1:
+        accumulators = [
+            _analyze_shard(records, names, plan, width_bits) for plan in plans
+        ]
+    else:
+        executor_cls = (
+            concurrent.futures.ProcessPoolExecutor
+            if use_processes
+            else concurrent.futures.ThreadPoolExecutor
+        )
+        with executor_cls(max_workers=pool_size) as pool:
+            futures = [
+                pool.submit(_analyze_shard, records, names, plan, width_bits)
+                for plan in plans
+            ]
+            accumulators = [future.result() for future in futures]
+
+    merged = accumulators[0]
+    for previous_plan, plan, accumulator in zip(plans, plans[1:], accumulators[1:]):
+        _drop_boundary_artifact(accumulator, plan)
+        merged.merge(accumulator, gap_idle_us=previous_plan.bridge_us)
+    return ShardedAnalysis(
+        summary=merged.summary(),
+        anomalies=merged.anomalies,
+        plans=plans,
+        workers=pool_size,
+        context_switches=merged.context_switches,
+    )
+
+
+def analyze_capture_sharded(
+    capture: Capture,
+    *,
+    max_shard_events: int = DEFAULT_SHARD_EVENTS,
+    workers: Optional[int] = None,
+    use_processes: bool = False,
+) -> ShardedAnalysis:
+    """Sharded analysis of a :class:`Capture` (summary identical to batch)."""
+    return analyze_sharded(
+        capture.records,
+        capture.names,
+        max_shard_events=max_shard_events,
+        workers=workers,
+        width_bits=capture.counter_width_bits,
+        use_processes=use_processes,
+    )

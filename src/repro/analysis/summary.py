@@ -19,10 +19,13 @@ Headed by the overall accounting::
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Iterable, Optional
 
-from repro.analysis.callstack import CallTreeAnalysis, analyze_capture
+from repro.analysis.callstack import Anomaly, CallTreeAnalysis, analyze_capture
+from repro.analysis.events import DecodedEvent, EventKind
+from repro.instrument.namefile import NameTable
 from repro.profiler.capture import Capture
+from repro.profiler.ram import RawRecord
 
 
 @dataclasses.dataclass
@@ -128,6 +131,70 @@ class ProfileSummary:
         return "\n".join(out)
 
 
+# -- shared aggregation core -------------------------------------------------
+#
+# Both the batch path (walking a built call tree) and the streaming path
+# (aggregating frames as they close) funnel per-call samples through these
+# helpers, so the two pipelines produce identical statistics by construction.
+# The aggregate is a plain list for speed: [calls, elapsed, net, max, min],
+# with ``min`` held as ``None`` until the first *timed* call so that the
+# result is independent of the order in which synthetic (zero-time) and real
+# calls are folded in.
+
+
+def _agg_call(functions: dict[str, list], name: str, inclusive: int, net: int) -> None:
+    agg = functions.get(name)
+    if agg is None:
+        functions[name] = [1, inclusive, net, inclusive, inclusive]
+    else:
+        agg[0] += 1
+        agg[1] += inclusive
+        agg[2] += net
+        if inclusive > agg[3]:
+            agg[3] = inclusive
+        if agg[4] is None or inclusive < agg[4]:
+            agg[4] = inclusive
+
+
+def _agg_synthetic(functions: dict[str, list], name: str) -> None:
+    # A frame invented to absorb an unmatched exit has no reliable timing;
+    # count the call but no time.
+    agg = functions.get(name)
+    if agg is None:
+        functions[name] = [1, 0, 0, 0, None]
+    else:
+        agg[0] += 1
+
+
+def _agg_merge(functions: dict[str, list], other: dict[str, list]) -> None:
+    for name, theirs in other.items():
+        agg = functions.get(name)
+        if agg is None:
+            functions[name] = list(theirs)
+            continue
+        agg[0] += theirs[0]
+        agg[1] += theirs[1]
+        agg[2] += theirs[2]
+        if theirs[3] > agg[3]:
+            agg[3] = theirs[3]
+        if theirs[4] is not None and (agg[4] is None or theirs[4] < agg[4]):
+            agg[4] = theirs[4]
+
+
+def _materialize(functions: dict[str, list]) -> dict[str, FunctionStats]:
+    return {
+        name: FunctionStats(
+            name=name,
+            calls=agg[0],
+            elapsed_us=agg[1],
+            net_us=agg[2],
+            max_us=agg[3],
+            min_us=agg[4] if agg[4] is not None else 0,
+        )
+        for name, agg in functions.items()
+    }
+
+
 def summarize(
     analysis: CallTreeAnalysis, include_swtch: bool = False
 ) -> ProfileSummary:
@@ -136,52 +203,505 @@ def summarize(
     ``swtch`` (and any other ``!`` function) is excluded by default: its
     self time is the idle loop, already reported in the header.
     """
-    functions: dict[str, FunctionStats] = {}
+    functions: dict[str, list] = {}
     for node in analysis.nodes():
         if node.is_swtch and not include_swtch:
             continue
         if node.synthetic:
-            # A frame invented to absorb an unmatched exit has no reliable
-            # timing; count the call but no time.
-            stats = functions.get(node.name)
-            if stats is None:
-                functions[node.name] = FunctionStats(
-                    name=node.name,
-                    calls=1,
-                    elapsed_us=0,
-                    net_us=0,
-                    max_us=0,
-                    min_us=0,
-                )
-            else:
-                stats.calls += 1
-            continue
-        inclusive = node.inclusive_us
-        stats = functions.get(node.name)
-        if stats is None:
-            functions[node.name] = FunctionStats(
-                name=node.name,
-                calls=1,
-                elapsed_us=inclusive,
-                net_us=node.self_us,
-                max_us=inclusive,
-                min_us=inclusive,
-            )
+            _agg_synthetic(functions, node.name)
         else:
-            stats.calls += 1
-            stats.elapsed_us += inclusive
-            stats.net_us += node.self_us
-            stats.max_us = max(stats.max_us, inclusive)
-            stats.min_us = min(stats.min_us, inclusive)
+            _agg_call(functions, node.name, node.inclusive_us, node.self_us)
     return ProfileSummary(
         wall_us=analysis.wall_us,
         busy_us=analysis.busy_us,
         idle_us=analysis.idle_us,
         event_count=analysis.event_count,
-        functions=functions,
+        functions=_materialize(functions),
     )
 
 
 def summarize_capture(capture: Capture) -> ProfileSummary:
     """Decode, reconstruct and summarise *capture* in one call."""
     return summarize(analyze_capture(capture))
+
+
+# -- streaming summary -------------------------------------------------------
+
+#: Internal event codes (cheaper than EventKind members in the hot loop).
+_ENTRY, _EXIT, _INLINE, _UNKNOWN = 0, 1, 2, 3
+
+_CODE_FROM_KIND = {
+    EventKind.ENTRY: _ENTRY,
+    EventKind.EXIT: _EXIT,
+    EventKind.INLINE: _INLINE,
+    EventKind.UNKNOWN: _UNKNOWN,
+}
+
+
+def build_tag_map(names: NameTable) -> dict[int, tuple[str, int, bool]]:
+    """Precompute raw tag value -> (name, event code, is context switch).
+
+    One dict lookup replaces ``NameTable.decode`` plus kind mapping in the
+    streaming hot loops (the accumulator and the shard-boundary scanner).
+    """
+    tag_map: dict[int, tuple[str, int, bool]] = {}
+    for entry in names:
+        if entry.inline:
+            tag_map[entry.entry_value] = (entry.name, _INLINE, False)
+        else:
+            tag_map[entry.entry_value] = (entry.name, _ENTRY, entry.context_switch)
+            tag_map[entry.exit_value] = (entry.name, _EXIT, entry.context_switch)
+    return tag_map
+
+
+class _ProcStack:
+    """One process's open frames during streaming reconstruction.
+
+    Frames are plain lists ``[name, self_us, child_inclusive_us, is_swtch]``
+    — the minimum needed to aggregate a call on close without retaining a
+    tree node per call.
+    """
+
+    __slots__ = ("frames", "suspend_seq")
+
+    def __init__(self) -> None:
+        self.frames: list[list] = []
+        self.suspend_seq = -1
+
+
+class SummaryAccumulator:
+    """Single-pass, bounded-memory construction of :class:`ProfileSummary`.
+
+    Semantically a re-implementation of
+    :func:`repro.analysis.callstack.build_call_tree` followed by
+    :func:`summarize`, but instead of materialising a :class:`CallNode`
+    per call it keeps only the *open* frames and folds every frame into
+    the per-function aggregates the moment it closes.  Peak memory is
+    O(open call depth + suspended processes + one scheduling block), not
+    O(events) — which is what lets a million-event stream be summarised
+    from a file iterator without ever holding the trace.
+
+    The one structural concession to streaming: switch-in resolution
+    (which suspended process resumes after a ``swtch`` exit) needs to look
+    *ahead* at the incoming scheduling block, so events arriving after a
+    context-switch exit are buffered until the block's terminating
+    ``swtch`` entry is seen, then resolved and replayed.  A scheduling
+    block is bounded by the capture hardware (at most one RAM of events
+    between switches in practice), so the buffer does not grow with trace
+    length.
+
+    Accumulators from independent capture shards combine with
+    :meth:`merge`; the streaming and batch pipelines produce byte-identical
+    reports (property-tested in ``tests/test_streaming_pipeline.py``).
+    """
+
+    def __init__(
+        self,
+        names: Optional[NameTable] = None,
+        *,
+        width_bits: int = 24,
+        include_swtch: bool = False,
+        start_index: int = 0,
+        time_base_us: int = 0,
+    ) -> None:
+        self._tag_map = build_tag_map(names) if names is not None else None
+        self._mask = (1 << width_bits) - 1
+        self._width_bits = width_bits
+        self._include_swtch = include_swtch
+
+        self._functions: dict[str, list] = {}
+        self.anomalies: list[Anomaly] = []
+        self._idle_us = 0
+        self._unattributed_us = 0
+        self._event_count = 0
+        self._context_switches = 0
+
+        self._current = _ProcStack()
+        self._suspended: list[_ProcStack] = []
+        self._suspend_seq = 0
+        #: Buffered (code, name, is_cs, t, index, tag) items awaiting
+        #: switch-in resolution; ``None`` while no resolution is pending.
+        self._pending: Optional[list[tuple]] = None
+
+        # Raw-record time reconstruction state.
+        self._prev_raw: Optional[int] = None
+        self._absolute = time_base_us
+        self._next_index = start_index
+
+        self._first_t: Optional[int] = None
+        self._last_t = time_base_us
+        self._prev_t = time_base_us
+
+        self._sealed = False
+        self._wall_us = 0
+        self._summary: Optional[ProfileSummary] = None
+
+    # -- feeding -------------------------------------------------------------
+
+    def feed(self, event: DecodedEvent) -> None:
+        """Fold one already-decoded event in (times must be absolute)."""
+        self._ingest(
+            (
+                _CODE_FROM_KIND[event.kind],
+                event.name,
+                event.is_context_switch,
+                event.time_us,
+                event.index,
+                event.raw.tag,
+            )
+        )
+
+    def feed_events(self, events: Iterable[DecodedEvent]) -> "SummaryAccumulator":
+        """Fold a decoded event stream in; returns self for chaining."""
+        for event in events:
+            self.feed(event)
+        return self
+
+    def feed_records(self, records: Iterable[RawRecord]) -> "SummaryAccumulator":
+        """Fold raw records in, fusing tag decode and time reconstruction.
+
+        The fast path: no :class:`DecodedEvent` is constructed.  Requires
+        the accumulator to have been built with a name table.  *records*
+        may be any iterable, including a generator draining a capture file
+        chunk by chunk; the 24-bit wrap is carried across calls.
+        """
+        if self._sealed:
+            raise RuntimeError("cannot feed a sealed SummaryAccumulator")
+        tag_map = self._tag_map
+        if tag_map is None:
+            raise ValueError("feed_records() needs the accumulator built with names")
+        mask = self._mask
+        absolute = self._absolute
+        previous = self._prev_raw
+        index = self._next_index
+        count = 0
+        get = tag_map.get
+        apply = self._apply
+        try:
+            for record in records:
+                traw = record.time
+                if traw > mask:
+                    raise ValueError(
+                        f"record time {traw} exceeds the "
+                        f"{self._width_bits}-bit counter"
+                    )
+                if previous is not None:
+                    absolute += (traw - previous) & mask
+                previous = traw
+                count += 1
+                info = get(record.tag)
+                if info is None:
+                    name, code, is_cs = f"tag#{record.tag}", _UNKNOWN, False
+                else:
+                    name, code, is_cs = info
+                if self._first_t is None:
+                    self._first_t = absolute
+                    self._prev_t = absolute
+                if self._pending is not None:
+                    self._pending.append(
+                        (code, name, is_cs, absolute, index, record.tag)
+                    )
+                    if code == _ENTRY and is_cs:
+                        self._drain(final=False)
+                else:
+                    apply(code, name, is_cs, absolute, index, record.tag)
+                index += 1
+        finally:
+            self._absolute = absolute
+            self._prev_raw = previous
+            self._next_index = index
+            self._event_count += count
+            if count:
+                self._last_t = absolute
+        return self
+
+    # -- the state machine ----------------------------------------------------
+
+    def _ingest(self, item: tuple) -> None:
+        if self._sealed:
+            raise RuntimeError("cannot feed a sealed SummaryAccumulator")
+        self._event_count += 1
+        t = item[3]
+        if self._first_t is None:
+            self._first_t = t
+            self._prev_t = t
+        self._last_t = t
+        if self._pending is not None:
+            self._pending.append(item)
+            # A context-switch *entry* terminates the incoming scheduling
+            # block: resolution can now run.
+            if item[0] == _ENTRY and item[2]:
+                self._drain(final=False)
+        else:
+            self._apply(*item)
+
+    def _apply(
+        self, code: int, name: str, is_cs: bool, t: int, index: int, tag: int
+    ) -> None:
+        frames = self._current.frames
+
+        # 1. Attribute the elapsed interval to the innermost active frame.
+        dt = t - self._prev_t
+        self._prev_t = t
+        if frames:
+            frames[-1][1] += dt
+        else:
+            self._unattributed_us += dt
+
+        # 2. Apply the event.
+        if code == _ENTRY:
+            frames.append([name, 0, 0, is_cs])
+            return
+        if code == _EXIT:
+            if not is_cs and frames and frames[-1][0] == name:
+                # Fast path: a matched exit of the innermost frame — the
+                # overwhelmingly common case in a well-formed trace.
+                frame = frames.pop()
+                inclusive = frame[1] + frame[2]
+                if frames:
+                    frames[-1][2] += inclusive
+                if frame[3]:
+                    self._idle_us += frame[1]
+                    if not self._include_swtch:
+                        return
+                functions = self._functions
+                agg = functions.get(name)
+                if agg is None:
+                    functions[name] = [1, inclusive, frame[1], inclusive, inclusive]
+                else:
+                    agg[0] += 1
+                    agg[1] += inclusive
+                    agg[2] += frame[1]
+                    if inclusive > agg[3]:
+                        agg[3] = inclusive
+                    if agg[4] is None or inclusive < agg[4]:
+                        agg[4] = inclusive
+                return
+            self._slow_exit(name, is_cs, t, index)
+            return
+        if code == _INLINE:
+            return
+        # _UNKNOWN
+        self.anomalies.append(
+            Anomaly(
+                index=index,
+                time_us=t,
+                kind="unknown-tag",
+                detail=f"tag {tag} is in no name file",
+            )
+        )
+
+    def _slow_exit(self, name: str, is_cs: bool, t: int, index: int) -> None:
+        frames = self._current.frames
+        if is_cs:
+            if any(frame[0] == name for frame in frames):
+                self._close_through(name, t, index)
+            else:
+                if self._include_swtch:
+                    _agg_synthetic(self._functions, name)
+                self.anomalies.append(
+                    Anomaly(
+                        index=index,
+                        time_us=t,
+                        kind="unmatched-swtch-exit",
+                        detail="context-switch exit with no open swtch frame",
+                    )
+                )
+            self._context_switches += 1
+            current = self._current
+            current.suspend_seq = self._suspend_seq
+            self._suspend_seq += 1
+            self._suspended.append(current)
+            # Which stack resumes depends on the upcoming block: defer.
+            self._pending = []
+            return
+
+        if any(frame[0] == name for frame in frames):
+            self._close_through(name, t, index)
+        else:
+            _agg_synthetic(self._functions, name)
+            self.anomalies.append(
+                Anomaly(
+                    index=index,
+                    time_us=t,
+                    kind="unmatched-exit",
+                    detail=(
+                        f"exit of {name!r} with no matching entry "
+                        "(function was already running when the capture began?)"
+                    ),
+                )
+            )
+
+    def _close_frame(self, stack: _ProcStack) -> list:
+        frames = stack.frames
+        frame = frames.pop()
+        inclusive = frame[1] + frame[2]
+        if frames:
+            frames[-1][2] += inclusive
+        if frame[3]:
+            self._idle_us += frame[1]
+            if self._include_swtch:
+                _agg_call(self._functions, frame[0], inclusive, frame[1])
+        else:
+            _agg_call(self._functions, frame[0], inclusive, frame[1])
+        return frame
+
+    def _close_through(self, name: str, t: int, index: int) -> None:
+        """Close frames down to (and including) the one named *name*."""
+        frames = self._current.frames
+        while frames and frames[-1][0] != name:
+            skipped = self._close_frame(self._current)
+            self.anomalies.append(
+                Anomaly(
+                    index=index,
+                    time_us=t,
+                    kind="missed-exit",
+                    detail=(
+                        f"exit of {name!r} arrived while {skipped[0]!r} "
+                        "was still open; closed it administratively"
+                    ),
+                )
+            )
+        if frames:
+            self._close_frame(self._current)
+
+    def _resolve(self, block: list[tuple]) -> Optional[_ProcStack]:
+        """Mirror of :class:`repro.analysis.callstack._Resolver` over the
+        buffered incoming block."""
+        unwind: Optional[str] = None
+        found = False
+        depth = 0
+        for item in block:
+            code = item[0]
+            if code == _ENTRY:
+                if item[2]:
+                    break
+                depth += 1
+            elif code == _EXIT:
+                if depth > 0:
+                    depth -= 1
+                else:
+                    unwind = item[1]
+                    found = True
+                    break
+        if found:
+            matches = [
+                stack
+                for stack in self._suspended
+                if stack.frames and stack.frames[-1][0] == unwind
+            ]
+            if matches:
+                return min(matches, key=lambda s: s.suspend_seq)
+            return None
+        empty = [stack for stack in self._suspended if not stack.frames]
+        if empty:
+            return min(empty, key=lambda s: s.suspend_seq)
+        return None
+
+    def _drain(self, final: bool) -> None:
+        """Resolve and replay buffered blocks.
+
+        Invoked when a block terminator (context-switch entry) arrives, or
+        unconditionally at seal time.  Replay may hit another
+        context-switch exit mid-buffer, re-entering the pending state with
+        the remaining items — hence the loop.
+        """
+        while self._pending is not None:
+            block = self._pending
+            if not final and (not block or not (block[-1][0] == _ENTRY and block[-1][2])):
+                return
+            self._pending = None
+            chosen = self._resolve(block)
+            if chosen is None:
+                chosen = _ProcStack()
+            else:
+                self._suspended.remove(chosen)
+            self._current = chosen
+            for i, item in enumerate(block):
+                self._apply(*item)
+                if self._pending is not None:
+                    self._pending.extend(block[i + 1 :])
+                    break
+
+    # -- sealing, merging, reporting ------------------------------------------
+
+    def close(self) -> "SummaryAccumulator":
+        """Seal the accumulator: resolve any pending block and close every
+        frame still open (capture window truncation), exactly as the batch
+        analyser does at end of events.  Idempotent."""
+        if self._sealed:
+            return self
+        self._drain(final=True)
+        for stack in [self._current, *self._suspended]:
+            while stack.frames:
+                self._close_frame(stack)
+        self._wall_us = (self._last_t - self._first_t) if self._first_t is not None else 0
+        self._sealed = True
+        return self
+
+    def merge(self, other: "SummaryAccumulator", *, gap_idle_us: int = 0) -> "SummaryAccumulator":
+        """Fold another (independent, later-in-time) shard's totals into this one.
+
+        ``gap_idle_us`` is the idle bridge between the two shards: the
+        interval from this shard's final event to *other*'s first event.
+        At a quiescent shard boundary (cut immediately after a ``swtch``
+        entry) that whole interval is idle-loop time that neither shard
+        could see, so the merge accounts it exactly once — wall and idle
+        both grow by it.  Seals both accumulators.
+        """
+        self.close()
+        other.close()
+        _agg_merge(self._functions, other._functions)
+        self._wall_us += other._wall_us + gap_idle_us
+        self._idle_us += other._idle_us + gap_idle_us
+        self._unattributed_us += other._unattributed_us
+        self._event_count += other._event_count
+        self._context_switches += other._context_switches
+        self.anomalies.extend(other.anomalies)
+        self._summary = None
+        return self
+
+    def summary(self) -> ProfileSummary:
+        """The :class:`ProfileSummary` of everything folded in (seals)."""
+        self.close()
+        if self._summary is None:
+            self._summary = ProfileSummary(
+                wall_us=self._wall_us,
+                busy_us=self._wall_us - self._idle_us,
+                idle_us=self._idle_us,
+                event_count=self._event_count,
+                functions=_materialize(self._functions),
+            )
+        return self._summary
+
+    @property
+    def event_count(self) -> int:
+        return self._event_count
+
+    @property
+    def context_switches(self) -> int:
+        return self._context_switches
+
+    @property
+    def unattributed_us(self) -> int:
+        return self._unattributed_us
+
+
+def summarize_records(
+    records: Iterable[RawRecord],
+    names: NameTable,
+    width_bits: int = 24,
+    include_swtch: bool = False,
+) -> ProfileSummary:
+    """One-call streaming summary of a raw record stream."""
+    accumulator = SummaryAccumulator(
+        names, width_bits=width_bits, include_swtch=include_swtch
+    )
+    return accumulator.feed_records(records).summary()
+
+
+def summarize_capture_streaming(capture: Capture) -> ProfileSummary:
+    """Streaming twin of :func:`summarize_capture` (identical output)."""
+    return summarize_records(
+        capture.records, capture.names, width_bits=capture.counter_width_bits
+    )

@@ -16,9 +16,10 @@ RAMs back *through* the EPROM window instead.  Both paths are modelled:
 
 from __future__ import annotations
 
+import contextlib
 import io
 from pathlib import Path
-from typing import BinaryIO, Iterable, Sequence, Union
+from typing import BinaryIO, Iterable, Iterator, Sequence, Union
 
 from repro.profiler.ram import RawRecord, TraceRam
 
@@ -27,6 +28,9 @@ RECORD_BYTES = 5
 
 #: Capture-file magic: "McRae Profiler Format, version 1".
 MAGIC = b"MPF1"
+
+#: Records per read() in the streaming readers (8192 records = 40 KiB).
+DEFAULT_CHUNK_RECORDS = 8192
 
 
 def dump_records(records: Iterable[RawRecord]) -> bytes:
@@ -47,6 +51,102 @@ def load_records(blob: bytes) -> list[RawRecord]:
         RawRecord.unpack(blob[i : i + RECORD_BYTES])
         for i in range(0, len(blob), RECORD_BYTES)
     ]
+
+
+def iter_record_stream(
+    stream: BinaryIO, *, chunk_records: int = DEFAULT_CHUNK_RECORDS
+) -> Iterator[RawRecord]:
+    """Decode a raw record stream from a file object, chunk by chunk.
+
+    The streaming twin of :func:`load_records`: at most ``chunk_records``
+    records' worth of bytes are resident at once, so a multi-gigabyte
+    capture decodes in O(chunk) memory.  Raises :class:`ValueError` on a
+    trailing partial record, exactly like the batch loader.
+    """
+    if chunk_records <= 0:
+        raise ValueError(f"chunk_records must be positive, got {chunk_records}")
+    chunk_bytes = chunk_records * RECORD_BYTES
+    leftover = b""
+    while True:
+        blob = stream.read(chunk_bytes)
+        if not blob:
+            break
+        blob = leftover + blob
+        usable = len(blob) - (len(blob) % RECORD_BYTES)
+        for i in range(0, usable, RECORD_BYTES):
+            yield RawRecord.unpack(blob[i : i + RECORD_BYTES])
+        leftover = blob[usable:]
+    if leftover:
+        raise ValueError(
+            f"record stream ends with a partial {len(leftover)}-byte record"
+        )
+
+
+def iter_capture_file(
+    path_or_file: Union[str, Path, BinaryIO],
+    *,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    verify_count: bool = True,
+) -> Iterator[RawRecord]:
+    """Stream the records of a capture file without materialising them.
+
+    Validates the header like :func:`read_capture_file`, then yields
+    records as they are read.  With ``verify_count`` (the default) a
+    mismatch between the header's record count and the stream length
+    raises at end of iteration — late, but without buffering the file.
+    """
+    if hasattr(path_or_file, "read"):
+        context: contextlib.AbstractContextManager = contextlib.nullcontext(
+            path_or_file
+        )
+    else:
+        context = open(Path(path_or_file), "rb")  # type: ignore[arg-type]
+    with context as stream:
+        header = stream.read(len(MAGIC) + 4)
+        if len(header) < len(MAGIC) + 4 or header[: len(MAGIC)] != MAGIC:
+            raise ValueError("not a Profiler capture file (bad magic)")
+        count = int.from_bytes(header[len(MAGIC) :], "big")
+        seen = 0
+        for record in iter_record_stream(stream, chunk_records=chunk_records):
+            yield record
+            seen += 1
+        if verify_count and seen != count:
+            raise ValueError(
+                f"capture file header claims {count} records but stream holds "
+                f"{seen}"
+            )
+
+
+def write_capture_stream(
+    path_or_file: Union[str, Path, BinaryIO], records: Iterable[RawRecord]
+) -> int:
+    """Write a capture file from a record *iterator* of unknown length.
+
+    Streams records straight to the file and backpatches the header's
+    record count at the end, so captures far larger than memory can be
+    serialised.  Requires a seekable target.  Returns the record count.
+    """
+    if hasattr(path_or_file, "write"):
+        context: contextlib.AbstractContextManager = contextlib.nullcontext(
+            path_or_file
+        )
+    else:
+        context = open(Path(path_or_file), "wb")  # type: ignore[arg-type]
+    with context as stream:
+        stream.write(MAGIC + b"\x00\x00\x00\x00")
+        count = 0
+        buffer = bytearray()
+        for record in records:
+            buffer += record.pack()
+            count += 1
+            if len(buffer) >= DEFAULT_CHUNK_RECORDS * RECORD_BYTES:
+                stream.write(bytes(buffer))
+                buffer.clear()
+        if buffer:
+            stream.write(bytes(buffer))
+        stream.seek(len(MAGIC))
+        stream.write(count.to_bytes(4, "big"))
+    return count
 
 
 def write_capture_file(

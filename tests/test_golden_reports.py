@@ -1,0 +1,103 @@
+"""Golden-file tests: the three figure reports, byte-for-byte.
+
+The simulation is deterministic, so the canonical Figure 3/4/5 report
+text is checked in under ``tests/golden/`` and asserted verbatim.  Any
+change to decoding, reconstruction, aggregation or formatting shows up
+here as a diff against the golden text — which is exactly the kind of
+silent drift the streaming pipeline's byte-identity guarantee depends on
+being able to detect.
+
+To regenerate after an *intentional* report change::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_reports.py
+
+then review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.summary import summarize
+from repro.analysis.trace import format_trace
+from repro.system import build_case_study
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _check(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"golden file {path} missing; run with REGEN_GOLDEN=1 to create it"
+    )
+    golden = path.read_text()
+    assert text == golden, (
+        f"{name} drifted from the golden copy; if the change is intentional, "
+        "regenerate with REGEN_GOLDEN=1 and review the diff"
+    )
+
+
+@pytest.fixture(scope="module")
+def network_capture():
+    system = build_case_study()
+    from repro.workloads.network_recv import network_receive
+
+    capture = system.profile(
+        lambda: network_receive(system.kernel, total_packets=6),
+        label="TCP receive (golden)",
+    )
+    return system, capture
+
+
+@pytest.fixture(scope="module")
+def forkexec_capture():
+    system = build_case_study()
+    from repro.workloads.forkexec import fork_exec_storm
+
+    capture = system.profile(
+        lambda: fork_exec_storm(system.kernel, iterations=1),
+        label="fork/exec storm (golden)",
+    )
+    return system, capture
+
+
+def test_figure3_summary_golden(network_capture):
+    system, capture = network_capture
+    summary = summarize(system.analyze(capture))
+    _check("figure3_network_summary.txt", summary.format(limit=20) + "\n")
+
+
+def test_figure4_trace_golden(network_capture):
+    system, capture = network_capture
+    analysis = system.analyze(capture)
+    _check("figure4_code_path_trace.txt", format_trace(analysis) + "\n")
+
+
+def test_figure5_summary_golden(forkexec_capture):
+    system, capture = forkexec_capture
+    summary = summarize(system.analyze(capture))
+    _check("figure5_forkexec_summary.txt", summary.format(limit=20) + "\n")
+
+
+def test_streaming_matches_figure3_golden(network_capture):
+    """The streaming path must reproduce the golden text, not just agree
+    with whatever batch currently produces."""
+    system, capture = network_capture
+    text = system.summarize_streaming(capture).format(limit=20) + "\n"
+    if not os.environ.get("REGEN_GOLDEN"):
+        assert text == (GOLDEN_DIR / "figure3_network_summary.txt").read_text()
+
+
+def test_sharded_matches_figure5_golden(forkexec_capture):
+    system, capture = forkexec_capture
+    result = system.summarize_sharded(capture, workers=2, max_shard_events=512)
+    text = result.summary.format(limit=20) + "\n"
+    if not os.environ.get("REGEN_GOLDEN"):
+        assert text == (GOLDEN_DIR / "figure5_forkexec_summary.txt").read_text()

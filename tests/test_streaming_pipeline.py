@@ -1,0 +1,219 @@
+"""Property-style parity tests: batch == streaming == sharded-merged.
+
+Fifty randomly generated traces (fixed seeds, no wall clock anywhere) are
+pushed through all three analysis paths; the summaries must be
+byte-identical and the anomaly lists must match the batch reconstruction
+exactly.  The generator deliberately produces *hostile* streams — random
+nesting, unmatched exits, context switches mid-call, inline marks, and
+time deltas large enough to wrap the 24-bit counter many times — because
+the parity claim is about the pipeline, not about well-formed kernels.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from stream_helpers import make_names
+
+from repro.analysis.callstack import analyze_capture
+from repro.analysis.pipeline import analyze_sharded, plan_shards
+from repro.analysis.summary import (
+    SummaryAccumulator,
+    summarize,
+    summarize_capture_streaming,
+    summarize_records,
+)
+from repro.profiler.capture import Capture
+from repro.profiler.ram import RawRecord
+
+MASK = (1 << 24) - 1
+
+NAMES = make_names(
+    ("alpha", 500),
+    ("bravo", 502),
+    ("charlie", 504),
+    ("delta", 506),
+    ("echo", 508),
+    ("foxtrot", 510),
+    ("swtch", 600, "!"),
+    ("MARK", 1002, "="),
+)
+
+FUNCTIONS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+
+
+def random_records(seed: int, length: int = 400, wild_deltas: bool = False):
+    """A hostile-but-deterministic record stream.
+
+    The walk keeps a rough notion of the open stack so most events nest
+    sensibly, then injects unmatched exits, surprise context switches and
+    inline marks.  With ``wild_deltas`` the time steps reach a quarter of
+    the counter range, so a 400-event trace wraps the counter ~25 times.
+    """
+    rng = random.Random(seed)
+    records = []
+    t = rng.randrange(1 << 24)  # random phase: wraps land anywhere
+    depth = 0
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.04:
+            entry = NAMES.by_name("swtch")
+            tag = entry.entry_value if rng.random() < 0.5 else entry.exit_value
+        elif roll < 0.08:
+            tag = NAMES.by_name("MARK").entry_value
+        elif roll < 0.16:
+            # Unmatched / mismatched exit of a random function.
+            tag = NAMES.by_name(rng.choice(FUNCTIONS)).exit_value
+            depth = max(0, depth - 1)
+        elif depth > 0 and roll < 0.55:
+            tag = NAMES.by_name(rng.choice(FUNCTIONS)).exit_value
+            depth -= 1
+        else:
+            tag = NAMES.by_name(rng.choice(FUNCTIONS)).entry_value
+            depth += 1
+        records.append(RawRecord(tag=tag, time=t & MASK))
+        if wild_deltas:
+            t += rng.randrange(1, 1 << 22)
+        else:
+            t += rng.randrange(1, 400)
+    return records
+
+
+def orderly_records(seed: int, blocks: int = 60):
+    """Well-formed scheduling blocks (every shard planner cut is legal)."""
+    rng = random.Random(seed)
+    records = []
+    t = rng.randrange(1 << 24)
+    swtch = NAMES.by_name("swtch")
+    for _ in range(blocks):
+        records.append(RawRecord(tag=swtch.exit_value, time=t & MASK))
+        t += rng.randrange(1, 50)
+        for _ in range(rng.randrange(1, 5)):
+            name = rng.choice(FUNCTIONS)
+            records.append(
+                RawRecord(tag=NAMES.by_name(name).entry_value, time=t & MASK)
+            )
+            t += rng.randrange(1, 100)
+            records.append(
+                RawRecord(tag=NAMES.by_name(name).exit_value, time=t & MASK)
+            )
+            t += rng.randrange(1, 30)
+        records.append(RawRecord(tag=swtch.entry_value, time=t & MASK))
+        t += rng.randrange(1, 5000)
+    return records
+
+
+def batch_summary(records):
+    capture = Capture(records=tuple(records), names=NAMES, label="property")
+    analysis = analyze_capture(capture)
+    return summarize(analysis), analysis.anomalies
+
+
+def assert_parity(records, *, max_shard_events=64, workers=2):
+    batch, batch_anomalies = batch_summary(records)
+    batch_text = batch.format()
+
+    streamed = summarize_records(iter(records), NAMES)
+    assert streamed.format() == batch_text
+
+    sharded = analyze_sharded(
+        records, NAMES, max_shard_events=max_shard_events, workers=workers
+    )
+    assert sharded.summary.format() == batch_text
+    assert [(a.index, a.kind, a.detail) for a in sharded.anomalies] == [
+        (a.index, a.kind, a.detail) for a in batch_anomalies
+    ]
+    return sharded
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_hostile_trace_parity(seed):
+    assert_parity(random_records(seed, length=400))
+
+
+@pytest.mark.parametrize("seed", range(25, 40))
+def test_multiwrap_trace_parity(seed):
+    """Deltas up to 2^22 us: the 24-bit counter wraps dozens of times."""
+    records = random_records(seed, length=400, wild_deltas=True)
+    sharded = assert_parity(records)
+    # The point of the exercise: the trace really did span many wraps.
+    batch, _ = batch_summary(records)
+    assert batch.wall_us > (1 << 24)
+    assert sharded.summary.wall_us == batch.wall_us
+
+
+@pytest.mark.parametrize("seed", range(40, 50))
+def test_orderly_trace_shards_and_matches(seed):
+    """Well-formed blocks must actually shard (cuts exist) and still match."""
+    records = orderly_records(seed)
+    sharded = assert_parity(records, max_shard_events=48, workers=4)
+    assert sharded.shard_count >= 3
+
+
+def test_wrap_across_chunk_boundary():
+    """A wrap falling exactly on a feed_records() chunk boundary."""
+    swtch = NAMES.by_name("swtch")
+    alpha = NAMES.by_name("alpha")
+    t = (1 << 24) - 9  # entry lands 9 us before the counter wraps
+    records = [
+        RawRecord(tag=swtch.exit_value, time=t & MASK),
+        RawRecord(tag=alpha.entry_value, time=(t + 4) & MASK),
+        RawRecord(tag=alpha.exit_value, time=(t + 20) & MASK),  # post-wrap
+        RawRecord(tag=swtch.entry_value, time=(t + 25) & MASK),
+    ]
+    accumulator = SummaryAccumulator(NAMES)
+    # Feed in two chunks split across the wrap: state must carry over.
+    accumulator.feed_records(records[:2])
+    accumulator.feed_records(records[2:])
+    accumulator.close()
+    summary = accumulator.summary()
+
+    batch, _ = batch_summary(records)
+    assert summary.format() == batch.format()
+    assert summary.get("alpha").net_us == 16
+
+
+def test_streaming_capture_helper_matches_batch(simple_names):
+    from stream_helpers import stream
+
+    capture = stream(
+        simple_names,
+        ("<", "swtch", 100),
+        (">", "main", 110),
+        (">", "read", 130),
+        ("=", "MGET", 140),
+        ("<", "read", 180),
+        ("<", "main", 200),
+        (">", "swtch", 210),
+    )
+    assert (
+        summarize_capture_streaming(capture).format()
+        == summarize(analyze_capture(capture)).format()
+    )
+
+
+def test_sharding_falls_back_when_no_quiescent_points():
+    """A tsleep-style trace (stacks stay suspended) cannot be cut safely:
+    the planner must grow the shard rather than split call state."""
+    swtch = NAMES.by_name("swtch")
+    alpha = NAMES.by_name("alpha")
+    bravo = NAMES.by_name("bravo")
+    records = []
+    t = 0
+    # Every process blocks mid-call: at each swtch entry some suspended
+    # stack is non-empty, so no cut point is ever quiescent.
+    for _ in range(50):
+        records.append(RawRecord(tag=swtch.exit_value, time=t & MASK))
+        t += 3
+        records.append(RawRecord(tag=alpha.entry_value, time=t & MASK))
+        t += 7
+        records.append(RawRecord(tag=bravo.entry_value, time=t & MASK))
+        t += 5
+        records.append(RawRecord(tag=swtch.entry_value, time=t & MASK))
+        t += 11
+    plans = plan_shards(records, NAMES, max_shard_events=16)
+    assert len(plans) == 1
+    assert len(plans[0]) == len(records)
+    assert_parity(records, max_shard_events=16)
