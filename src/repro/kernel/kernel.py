@@ -17,7 +17,6 @@ It owns the pieces every subsystem shares:
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Any, Callable, Optional
 
 from repro.kernel.intr import IPL_NET, IPL_SOFTCLOCK, ISAINTR_META
@@ -32,13 +31,43 @@ class KernelConfigError(Exception):
     """The kernel is wired inconsistently (e.g. triggers with no board)."""
 
 
+class KernelStats(dict):
+    """Kernel statistics counters: a plain dict that reads 0 for absent keys.
+
+    ``collections.Counter`` carried measurable per-increment overhead on
+    the trigger hot path; counters are bumped with plain-dict arithmetic
+    instead, and absent keys still read as zero.
+    """
+
+    __slots__ = ()
+
+    def __missing__(self, key: str) -> int:
+        return 0
+
+
 class Kernel:
     """A miniature 386BSD kernel bound to a simulated machine."""
+
+    #: When True (the default), ``advance``/``enter``/``leave`` use the
+    #: fused fast paths: while no deliverable interrupt can land inside a
+    #: charge, the whole charge is a single clock tick and the trigger
+    #: strobes the Profiler tap directly.  Set False to force the
+    #: original step-by-step charging sequence (the pre-optimization
+    #: reference the capture-parity tests and benchmarks compare
+    #: against).  Both produce byte-identical captures.
+    fastpath_enabled = True
 
     def __init__(self, machine: Optional[Machine] = None) -> None:
         self.machine = machine if machine is not None else Machine()
         self.cost = self.machine.cpu.model
         self.bus = self.machine.bus
+        # Hot-path aliases: enter/leave/advance consult the clock and the
+        # interrupt queue several times per trigger, and the two extra
+        # attribute hops through ``machine`` are measurable at millions
+        # of events.  Bound at construction — swap the machine's queue
+        # (reference-engine runs) before building the kernel.
+        self._clock = self.machine.clock
+        self._interrupts = self.machine.interrupts
 
         # -- execution context -------------------------------------------
         #: Current interrupt priority level (spl).
@@ -49,7 +78,7 @@ class Kernel:
         self.callouts: list[Any] = []
         self.sched = Scheduler(self)
         self.kmem = KernelAllocator()
-        self.stats: Counter = Counter()
+        self.stats: KernelStats = KernelStats()
 
         # -- software interrupts (the emulated ASTs) ----------------------
         self._soft_pending: set[str] = set()
@@ -68,6 +97,17 @@ class Kernel:
         self._inline_tags: dict[str, int] = {}
         #: Physical address of the Profiler's EPROM window, once attached.
         self.profile_base_phys: Optional[int] = None
+        #: Pre-resolved EPROM-window decode: the region's read tap, its
+        #: base, and the bus generation the resolution was made against.
+        #: ``_trigger`` strobes the tap directly instead of re-running
+        #: the bus address decode per event; a generation mismatch
+        #: (window unmapped/remapped) forces a re-resolve.
+        self._tap: Optional[Callable[[int], int]] = None
+        #: Offset of the window base within the resolved region, so a
+        #: strobe is ``tap(_tap_delta + tag)`` with no per-event address
+        #: arithmetic beyond one add.
+        self._tap_delta = 0
+        self._tap_gen = -1
 
         # -- subsystems, attached at boot ----------------------------------
         self.booted = False
@@ -91,12 +131,19 @@ class Kernel:
         """Advance simulated time, delivering due unmasked interrupts.
 
         The running code needs *delta_ns* of CPU; interrupts steal wall
-        time on top of that, exactly as on hardware.
+        time on top of that, exactly as on hardware.  While the whole
+        charge fits below the interrupt horizon (the cached earliest
+        deliverable due time) the advance is a single clock tick.
         """
         if delta_ns < 0:
             raise ValueError(f"cannot advance by negative {delta_ns} ns")
-        clock = self.machine.clock
-        interrupts = self.machine.interrupts
+        clock = self._clock
+        interrupts = self._interrupts
+        if self.fastpath_enabled:
+            due = interrupts.next_due_ns(self.ipl)
+            if due is None or due > clock.now_ns + delta_ns:
+                clock.tick(delta_ns)
+                return
         remaining = delta_ns
         while True:
             now = clock.now_ns
@@ -148,9 +195,36 @@ class Kernel:
     # -- function entry/exit ----------------------------------------------
 
     def enter(self, meta: KFuncMeta) -> None:
-        """Function prologue: call overhead, entry trigger, base cost."""
-        self.work(self.cost.call_ns)
+        """Function prologue: call overhead, entry trigger, base cost.
+
+        The charge sequence (call cost, trigger cost, base cost) is fused
+        into at most two clock ticks when no deliverable interrupt can
+        land inside it; the trigger then fires at exactly the instant the
+        step-by-step sequence would have strobed the board, so captures
+        are byte-identical either way.
+        """
         tag = self._entry_tags.get(meta.name)
+        if self.fastpath_enabled and (tag is None or self.profile_base_phys is not None):
+            cost = self.cost
+            pre_ns = cost.call_ns if tag is None else cost.call_ns + cost.trigger_ns
+            base_ns = meta.base_ns
+            clock = self._clock
+            due = self._interrupts.next_due_ns(self.ipl)
+            if due is None or due > clock.now_ns + pre_ns + base_ns:
+                clock.tick(pre_ns)
+                if tag is not None:
+                    # _strobe, inlined: one call frame per event matters.
+                    if self._tap_gen != self.bus.generation:
+                        self._resolve_tap()
+                    tap = self._tap
+                    if tap is not None:
+                        tap(self._tap_delta + tag)
+                    self.stats["triggers"] += 1
+                self.kstack.append(meta.name)
+                if base_ns:
+                    clock.tick(base_ns)
+                return
+        self.work(self.cost.call_ns)
         if tag is not None:
             self._trigger(tag)
         self.kstack.append(meta.name)
@@ -161,9 +235,31 @@ class Kernel:
         """Function epilogue: exit trigger."""
         tag = self._entry_tags.get(meta.name)
         if tag is not None:
-            self._trigger(tag + 1)
-        if self.kstack and self.kstack[-1] == meta.name:
-            self.kstack.pop()
+            fused = False
+            if self.fastpath_enabled and self.profile_base_phys is not None:
+                clock = self._clock
+                trigger_ns = self.cost.trigger_ns
+                due = self._interrupts.next_due_ns(self.ipl)
+                if due is None or due > clock.now_ns + trigger_ns:
+                    clock.tick(trigger_ns)
+                    # _strobe, inlined (see enter).
+                    if self._tap_gen != self.bus.generation:
+                        self._resolve_tap()
+                    tap = self._tap
+                    if tap is not None:
+                        tap(self._tap_delta + tag + 1)
+                    self.stats["triggers"] += 1
+                    fused = True
+            if not fused:
+                self._trigger(tag + 1)
+        kstack = self.kstack
+        if kstack and kstack[-1] == meta.name:
+            kstack.pop()
+        else:
+            # A mismatched pop means the shadow stack lost sync with the
+            # real execution nesting (a bug in the caller); make it
+            # visible instead of silently desynchronizing further.
+            self.stats["kstack_desync"] += 1
 
     @property
     def current_function(self) -> str:
@@ -190,6 +286,31 @@ class Kernel:
         self.work(self.cost.trigger_ns)
         self.bus.read8(self.profile_base_phys + tag_value)
         self.stat("triggers", 1)
+
+    def _resolve_tap(self) -> None:
+        """Decode the Profiler EPROM window once and pin the result."""
+        assert self.profile_base_phys is not None
+        bus = self.bus
+        region = bus.find(self.profile_base_phys)
+        self._tap = region.on_read
+        self._tap_delta = self.profile_base_phys - region.base
+        self._tap_gen = bus.generation
+
+    def _strobe(self, tag_value: int) -> None:
+        """Strobe the pre-resolved Profiler tap (fused-path trigger).
+
+        Equivalent to the ``bus.read8`` in :meth:`_trigger` minus the
+        per-event address decode; the board sees the identical offset at
+        the identical instant.  The caller has already charged
+        ``trigger_ns``, verified the window is attached, and bumps its
+        own trigger counter.  (The enter/leave fast paths inline this
+        body to save the call frame; keep the two in sync.)
+        """
+        if self._tap_gen != self.bus.generation:
+            self._resolve_tap()
+        tap = self._tap
+        if tap is not None:
+            tap(self._tap_delta + tag_value)
 
     # -- software interrupts --------------------------------------------------
 
@@ -253,6 +374,7 @@ class Kernel:
         """Seat a Profiler piggy-back adapter and record its window base."""
         adapter.plug_into(self.machine)
         self.profile_base_phys = adapter.base
+        self._resolve_tap()
 
     # ------------------------------------------------------------------
     # Small shared services

@@ -133,6 +133,15 @@ def _user_trigger(k, proc: Proc, tag_value: int) -> None:
     if proc.vmspace.pmap.raw_get(va + tag_value) is None:
         raise UserProfError("profiler window mapping is missing pages")
     # The user-mode movb: same cost, same strobe, no kernel frames.
+    if k.fastpath_enabled:
+        clock = k.machine.clock
+        trigger_ns = k.cost.trigger_ns
+        due = k.machine.interrupts.next_due_ns(k.ipl)
+        if due is None or due > clock.now_ns + trigger_ns:
+            clock.tick(trigger_ns)
+            k._strobe(tag_value)
+            k.stats["user_triggers"] += 1
+            return
     k.work(k.cost.trigger_ns)
     k.bus.read8(k.profile_base_phys + tag_value)
     k.stat("user_triggers", 1)

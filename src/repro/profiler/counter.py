@@ -37,6 +37,13 @@ class MicrosecondCounter:
         self.width_bits = width_bits
         self.rate_hz = rate_hz
         self.mask = (1 << width_bits) - 1
+        # When the tick period is a whole number of nanoseconds (the
+        # stock 1 MHz board: 1000 ns) a single floordiv replaces the
+        # multiply-then-divide on the latch path; non-integer periods
+        # keep the exact mul/div form.
+        self._ns_per_tick = (
+            1_000_000_000 // rate_hz if 1_000_000_000 % rate_hz == 0 else None
+        )
         #: Power-on phase offset in counter ticks; the counter does not
         #: start at zero in general because it free-runs from power-on.
         self.phase_ticks = 0
@@ -64,7 +71,11 @@ class MicrosecondCounter:
         """
         if now_ns < 0:
             raise ValueError(f"negative time {now_ns}")
-        ticks = (now_ns * self.rate_hz) // 1_000_000_000
+        ns_per_tick = self._ns_per_tick
+        if ns_per_tick is not None:
+            ticks = now_ns // ns_per_tick
+        else:
+            ticks = (now_ns * self.rate_hz) // 1_000_000_000
         return (ticks + self.phase_ticks) & self.mask
 
     def interval_ticks(self, earlier: int, later: int) -> int:

@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.profiler.counter import MicrosecondCounter
 from repro.profiler.pal import ControlLogic
-from repro.profiler.ram import DEFAULT_DEPTH, RawRecord, TraceRam
+from repro.profiler.ram import DEFAULT_DEPTH, TAG_MASK, RawRecord, TraceRam
 
 
 class ProfilerBoard:
@@ -64,10 +64,27 @@ class ProfilerBoard:
         The low 16 address lines are the event tag; the counter is latched
         simultaneously.  Returns the stored record, or ``None`` when the
         PAL suppressed the store (disarmed or overflowed).
+
+        This is the per-event hardware path — millions of strobes per
+        capture — so the PAL gating and RAM store are flattened inline
+        here (semantics identical to ``logic.strobe`` + ``ram.store``,
+        which remain the spec for component-level use).
         """
-        if not self.logic.strobe(ram_full=self.ram.full):
+        logic = self.logic
+        if not (logic._armed and not logic._overflowed):
+            logic.suppressed_strobes += 1
             return None
-        return self.ram.store(tag=offset, time=self.counter.sample(now_ns))
+        ram = self.ram
+        slots = ram._slots
+        if len(slots) >= ram.depth:
+            # Address-counter carry-out: trip the overflow latch.
+            logic._overflowed = True
+            logic.suppressed_strobes += 1
+            return None
+        logic.stored_strobes += 1
+        record = RawRecord(tag=offset & TAG_MASK, time=self.counter.sample(now_ns))
+        slots.append(record)
+        return record
 
     # -- status ------------------------------------------------------------------
 

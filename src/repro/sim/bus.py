@@ -93,6 +93,16 @@ class Bus:
         self._regions: list[MemoryRegion] = []
         #: Total bytes moved across the ISA bus, for bandwidth reports.
         self.isa_bytes_moved = 0
+        #: Bumped on every map/unmap; lets callers that pre-resolve a
+        #: region (the kernel's trigger path) detect a stale resolution
+        #: with one integer compare instead of re-decoding per access.
+        self.generation = 0
+        #: Last region a ``find`` decoded to.  Trigger storms hit the
+        #: same EPROM window millions of times in a row, so this turns
+        #: the linear decode into one range check.  Set ``decode_cache``
+        #: False to force the original linear scan (baseline runs).
+        self.decode_cache = True
+        self._hit: Optional[MemoryRegion] = None
 
     # -- mapping -----------------------------------------------------------
 
@@ -106,6 +116,7 @@ class Bus:
                     f"[{existing.base:#x},{existing.end:#x})"
                 )
         self._regions.append(region)
+        self.generation += 1
         return region
 
     def unmap(self, region: MemoryRegion) -> None:
@@ -114,11 +125,24 @@ class Bus:
             self._regions.remove(region)
         except ValueError:
             raise BusError(f"region {region.name!r} is not mapped") from None
+        if self._hit is region:
+            self._hit = None
+        self.generation += 1
 
     def find(self, addr: int) -> MemoryRegion:
-        """Decode *addr* to its region; raise :class:`BusError` if unmapped."""
+        """Decode *addr* to its region; raise :class:`BusError` if unmapped.
+
+        Regions never overlap and never move, so the last-hit cache can
+        answer repeat decodes of the same window with one range check.
+        """
+        if self.decode_cache:
+            hit = self._hit
+            if hit is not None and hit.base <= addr < hit.end:
+                return hit
         for region in self._regions:
             if region.contains(addr):
+                if self.decode_cache:
+                    self._hit = region
                 return region
         raise BusError(f"bus error: no region maps address {addr:#x}")
 

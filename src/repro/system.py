@@ -103,6 +103,7 @@ def build_case_study(
     with_console: bool = True,
     instrument: bool = True,
     names: Optional[NameTable] = None,
+    engine: str = "optimized",
 ) -> CaseStudySystem:
     """Build the full rig.
 
@@ -110,14 +111,27 @@ def build_case_study(
     whole kernel with profiling, the macro-profile).  ``cost`` swaps in a
     counterfactual :class:`CostModel` (e.g. ``asm_cksum=True``).
     ``instrument=False`` builds the non-profiled kernel of the overhead
-    experiment — triggers absent entirely.
+    experiment — triggers absent entirely.  ``engine="reference"`` wires
+    the pre-optimization capture path (single-heap interrupt queue,
+    linear bus decode, step-by-step cost charging) — the baseline the
+    parity tests and capture benchmarks compare against; captures must
+    be byte-identical between the two engines.
     """
+    if engine not in ("optimized", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
     _import_all_kernel_modules()
     cpu = Cpu.i386_40mhz()
     if cost is not None:
         cpu = Cpu(model=cost, name=cpu.name, mhz=cpu.mhz)
     machine = Machine(cpu=cpu)
+    if engine == "reference":
+        from repro.sim.engine import ReferenceInterruptQueue
+
+        machine.interrupts = ReferenceInterruptQueue()
+        machine.bus.decode_cache = False
     kernel = Kernel(machine)
+    if engine == "reference":
+        kernel.fastpath_enabled = False
 
     board = ProfilerBoard(depth=board_depth)
     adapter = PiggyBackAdapter(board)

@@ -37,6 +37,17 @@ class TestMicrosecondCounter:
         assert counter.sample(1_000) == 1
         assert counter.sample(1_999) == 1
 
+    def test_sample_non_integer_tick_period(self):
+        """A rate whose period is not a whole ns keeps the exact mul/div."""
+        counter = MicrosecondCounter(rate_hz=3_000_000)
+        assert counter._ns_per_tick is None
+        # 1 tick every 333.33 ns: at 1000 ns exactly 3 ticks have elapsed.
+        assert counter.sample(1_000) == 3
+        assert counter.sample(999) == 2
+        assert counter.sample(7_777) == (7_777 * 3_000_000) // 1_000_000_000
+        counter.phase_ticks = 0xFFFFFE
+        assert counter.sample(1_000) == (3 + 0xFFFFFE) & counter.mask
+
     def test_interval_simple(self):
         counter = MicrosecondCounter()
         assert counter.interval_ticks(100, 250) == 150

@@ -170,3 +170,51 @@ class TestMachine:
         assert machine.device_named("i8254") is machine.clock_chip
         with pytest.raises(KeyError):
             machine.device_named("nope")
+
+
+class TestDecodeCache:
+    def make_bus(self) -> Bus:
+        bus = Bus(CostModel())
+        bus.map(MemoryRegion(name="low", base=0x0, size=0x1000, kind=Region.MAIN))
+        bus.map(MemoryRegion(name="rom", base=0xD0000, size=0x10000, kind=Region.EPROM))
+        return bus
+
+    def test_repeat_decodes_hit_the_cache(self):
+        bus = self.make_bus()
+        rom = bus.find(0xD0000)
+        assert bus._hit is rom
+        assert bus.find(0xD1234) is rom  # answered by the range check
+
+    def test_cache_miss_falls_back_to_linear_scan(self):
+        bus = self.make_bus()
+        assert bus.find(0xD0000).name == "rom"
+        assert bus.find(0x10).name == "low"
+        assert bus.find(0xDFFFF).name == "rom"
+
+    def test_unmap_clears_the_cached_hit(self):
+        bus = self.make_bus()
+        rom = bus.find(0xD0000)
+        bus.unmap(rom)
+        assert bus._hit is None
+        with pytest.raises(BusError):
+            bus.find(0xD0000)
+
+    def test_map_unmap_bump_the_generation(self):
+        bus = self.make_bus()
+        start = bus.generation
+        extra = bus.map(
+            MemoryRegion(name="extra", base=0xC0000, size=0x1000, kind=Region.ISA8)
+        )
+        assert bus.generation == start + 1
+        bus.unmap(extra)
+        assert bus.generation == start + 2
+
+    def test_disabled_cache_never_consults_a_stale_hit(self):
+        bus = self.make_bus()
+        rom = bus.find(0xD0000)
+        assert bus._hit is rom
+        bus.decode_cache = False
+        # Out-of-range lookups must scan, not trust the stale hit.
+        assert bus.find(0x10).name == "low"
+        with pytest.raises(BusError):
+            bus.find(0xF_FF00_0000)

@@ -10,7 +10,9 @@ entry is masked.
 
 from __future__ import annotations
 
-from repro.sim.engine import InterruptLine, InterruptQueue
+import random
+
+from repro.sim.engine import InterruptLine, InterruptQueue, ReferenceInterruptQueue
 
 
 def line(irq: int = 3, ipl: int = 2, name: str = "test") -> InterruptLine:
@@ -128,3 +130,118 @@ class TestNextDueDisagreement:
         q = InterruptQueue()
         assert q.next_due_ns() is None
         assert q.next_any_due_ns() is None
+
+
+class TestCrossBucketTieBreaking:
+    """Same-due entries at *different* ipl levels live in different
+    per-level heaps; ``seq`` is globally monotone, so FIFO order must
+    survive the bucket split."""
+
+    def test_same_due_across_ipl_buckets_pops_in_posting_order(self):
+        q = InterruptQueue()
+        mid = line(irq=3, ipl=4, name="mid")
+        high = line(irq=4, ipl=6, name="high")
+        higher = line(irq=5, ipl=5, name="higher")
+        q.post(high, due_ns=100)
+        q.post(higher, due_ns=100)
+        q.post(mid, due_ns=100)
+        popped = [q.pop_due(100).line.name for _ in range(3)]
+        assert popped == ["high", "higher", "mid"]
+
+    def test_seq_order_survives_interleaved_levels(self):
+        q = InterruptQueue()
+        lines = [line(irq=i, ipl=2 + (i % 3), name=f"l{i}") for i in range(9)]
+        for ln in lines:
+            q.post(ln, due_ns=50)
+        popped = [q.pop_due(50).line.name for _ in range(9)]
+        assert popped == [f"l{i}" for i in range(9)]
+
+
+class TestHorizonCache:
+    """The cached per-ipl horizon must stay coherent across every
+    mutation path (post / pop_due / cancel_line)."""
+
+    def test_post_lowers_a_cached_horizon_in_place(self):
+        q = InterruptQueue()
+        q.post(line(ipl=6), due_ns=500)
+        assert q.next_due_ns(0) == 500  # warm the cache
+        q.post(line(ipl=6), due_ns=100)
+        assert q.next_due_ns(0) == 100
+
+    def test_post_of_masked_entry_leaves_masked_view_untouched(self):
+        q = InterruptQueue()
+        q.post(line(ipl=6), due_ns=500)
+        assert q.next_due_ns(3) == 500  # warm the cache at ipl 3
+        q.post(line(ipl=2), due_ns=50)  # masked at ipl 3
+        assert q.next_due_ns(3) == 500
+        assert q.next_due_ns(0) == 50
+
+    def test_post_refreshes_a_cached_none(self):
+        q = InterruptQueue()
+        assert q.next_due_ns(0) is None  # cache the empty answer
+        q.post(line(ipl=6), due_ns=100)
+        assert q.next_due_ns(0) == 100
+
+    def test_pop_invalidates_the_horizon_it_defined(self):
+        q = InterruptQueue()
+        q.post(line(ipl=6), due_ns=100)
+        q.post(line(ipl=6), due_ns=300)
+        assert q.next_due_ns(0) == 100
+        q.pop_due(100)
+        assert q.next_due_ns(0) == 300
+
+    def test_pop_keeps_cheaper_horizons_valid(self):
+        q = InterruptQueue()
+        q.post(line(irq=3, ipl=6, name="early"), due_ns=100)
+        q.post(line(irq=4, ipl=4, name="late"), due_ns=400)
+        assert q.next_due_ns(0) == 100
+        assert q.next_due_ns(5) == 100
+        popped = q.pop_due(100, current_ipl=0)
+        assert popped.line.name == "early"
+        assert q.next_due_ns(0) == 400
+        assert q.next_due_ns(5) is None
+
+    def test_cancel_line_refreshes_the_horizon(self):
+        q = InterruptQueue()
+        noisy = line(irq=3, ipl=6, name="noisy")
+        q.post(noisy, due_ns=100)
+        q.post(line(irq=9, ipl=6, name="other"), due_ns=400)
+        assert q.next_due_ns(0) == 100
+        q.cancel_line(noisy)
+        assert q.next_due_ns(0) == 400
+
+    def test_randomized_schedule_matches_reference_queue(self):
+        """Drive both implementations through an identical randomized
+        post/pop/query/cancel schedule; every observable must agree."""
+        rng = random.Random(0xC0FFEE)
+        fast = InterruptQueue()
+        ref = ReferenceInterruptQueue()
+        lines = [line(irq=i, ipl=rng.randint(1, 6), name=f"irq{i}") for i in range(8)]
+        now = 0
+        for _ in range(2000):
+            op = rng.random()
+            if op < 0.45:
+                ln = rng.choice(lines)
+                due = now + rng.randint(0, 5_000)
+                fast.post(ln, due)
+                ref.post(ln, due)
+            elif op < 0.75:
+                now += rng.randint(0, 2_000)
+                ipl = rng.randint(0, 6)
+                got = fast.pop_due(now, ipl)
+                want = ref.pop_due(now, ipl)
+                assert (got is None) == (want is None)
+                if got is not None:
+                    assert (got.due_ns, got.seq, got.line.name) == (
+                        want.due_ns,
+                        want.seq,
+                        want.line.name,
+                    )
+            elif op < 0.95:
+                ipl = rng.randint(0, 6)
+                assert fast.next_due_ns(ipl) == ref.next_due_ns(ipl)
+                assert fast.next_any_due_ns() == ref.next_any_due_ns()
+            else:
+                ln = rng.choice(lines)
+                assert fast.cancel_line(ln) == ref.cancel_line(ln)
+            assert len(fast) == len(ref)

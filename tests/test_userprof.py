@@ -93,22 +93,27 @@ class TestDriverStub:
         assert failures and "prof_mmap" in failures[0]
 
 
+def run_user_workload(system):
+    """The SNMP-daemon-style workload: 5 rounds of call/parse/mark/reply."""
+    image, setup, state = make_user_proc(system)
+
+    def body(k, proc):
+        setup(k, proc)
+        for _ in range(5):
+            yield from user_call(k, proc, image, "u_main", 2_000)
+            yield from user_call(k, proc, image, "u_parse", 4_000)
+            umark(k, proc, image, "U_MARK")
+            yield from user_call(k, proc, image, "u_reply", 1_000)
+        yield from syscall(k, proc, "exit", 0)
+
+    system.kernel.sched.spawn("snmpd", body)
+    system.kernel.sched.run(until_ns=120_000_000_000)
+    return image
+
+
 class TestUserCapture:
     def run_user_workload(self, system):
-        image, setup, state = make_user_proc(system)
-
-        def body(k, proc):
-            setup(k, proc)
-            for _ in range(5):
-                yield from user_call(k, proc, image, "u_main", 2_000)
-                yield from user_call(k, proc, image, "u_parse", 4_000)
-                umark(k, proc, image, "U_MARK")
-                yield from user_call(k, proc, image, "u_reply", 1_000)
-            yield from syscall(k, proc, "exit", 0)
-
-        system.kernel.sched.spawn("snmpd", body)
-        system.kernel.sched.run(until_ns=120_000_000_000)
-        return image
+        return run_user_workload(system)
 
     def test_user_functions_in_summary(self):
         system = build_case_study()
@@ -152,6 +157,26 @@ class TestUserCapture:
         assert system.names.decode(entry.entry_value)[0].name == "extra_user_fn"
         # No collision with any kernel tag.
         assert system.names.by_name("tcp_input").value != entry.value
+
+
+class TestEngineParity:
+    def test_user_capture_identical_across_engines(self):
+        """User-mode triggers take the same fast path as kernel ones, so
+        the optimized engine must capture the reference stream byte for
+        byte — including the `_user_trigger` slow path the reference
+        engine (fastpath_enabled=False) exercises."""
+        results = {}
+        for engine in ("optimized", "reference"):
+            system = build_case_study(engine=engine)
+            capture = system.profile(lambda: run_user_workload(system))
+            results[engine] = (
+                b"".join(record.pack() for record in capture.records),
+                system.kernel.machine.clock.now_ns,
+                system.kernel.stats["user_triggers"],
+            )
+        assert results["optimized"] == results["reference"]
+        # 5 rounds x (3 enter/leave pairs + 1 mark) = 35 user strobes.
+        assert results["optimized"][2] == 35
 
 
 class TestConcurrentProfiling:
