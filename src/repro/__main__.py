@@ -6,6 +6,9 @@ Usage examples::
     python -m repro capture --workload forkexec --report gprof --save run.mpf \
         --names run.tags
     python -m repro analyze run.mpf --names run.tags --report trace
+    python -m repro analyze run.mpf --names run.tags --strict
+    python -m repro lint run.mpf --names run.tags --json
+    python -m repro lint --kernel-ast
     python -m repro workloads
 
 The capture command is the whole paper in one invocation: build the rig,
@@ -27,7 +30,15 @@ from repro.analysis.timeline import render_timeline
 from repro.analysis.summary import summarize, summarize_records
 from repro.analysis.trace import format_trace
 from repro.instrument.namefile import NameTable
+from repro.lint import (
+    LintOptions,
+    lint_capture_file,
+    lint_paths,
+    render_json,
+    render_text,
+)
 from repro.profiler.capture import Capture
+from repro.profiler.ram import DEFAULT_DEPTH
 from repro.profiler.upload import iter_capture_file
 from repro.system import build_case_study
 
@@ -95,13 +106,37 @@ def _run_workload(system, name: str, packets: int) -> None:
         raise SystemExit(f"unknown workload {name!r}")
 
 
+def _desync_footer(desyncs: int) -> str:
+    """The kstack-desync line appended to every summary report.
+
+    Zero is the healthy reading; anything else means the capture's
+    entry/exit stream disagreed with the kernel's shadow stack and the
+    per-function times above it are suspect.
+    """
+    note = "" if desyncs == 0 else "  <- per-function times are suspect"
+    return f"kstack desyncs = {desyncs}{note}"
+
+
 def _print_reports(
-    capture: Capture, reports: Sequence[str], summary_limit: int, out: Callable
+    capture: Capture,
+    reports: Sequence[str],
+    summary_limit: int,
+    out: Callable,
+    desyncs: Optional[int] = None,
 ) -> None:
     analysis = analyze_capture(capture)
+    if desyncs is None:
+        # No live kernel to ask (analyze path): count the capture-side
+        # signature instead — exits that missed or mismatched a frame.
+        desyncs = sum(
+            1
+            for anomaly in analysis.anomalies
+            if anomaly.kind in ("missed-exit", "unmatched-exit")
+        )
     for report in reports:
         if report == "summary":
             out(summarize(analysis).format(limit=summary_limit))
+            out(_desync_footer(desyncs))
         elif report == "trace":
             out(format_trace(analysis))
         elif report == "gprof":
@@ -175,21 +210,36 @@ def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
     if args.names:
         system.names.write(args.names)
         out(f"name/tag file written to {args.names}")
+    desyncs = system.kernel.stats.get("kstack_desync", 0)
     if args.stream:
         out(summarize_records(iter(capture.records), capture.names).format(
             limit=args.summary_limit
         ))
+        out(_desync_footer(desyncs))
         out("")
     elif args.shards is not None:
         _print_sharded_summary(capture, args, out)
+        out(_desync_footer(desyncs))
     else:
-        _print_reports(capture, args.report, args.summary_limit, out)
+        _print_reports(
+            capture, args.report, args.summary_limit, out, desyncs=desyncs
+        )
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
     _check_pipeline_flags(args)
     names = NameTable.read(*args.names)
+    if args.strict:
+        lint_report = lint_capture_file(args.capture, names)
+        out(render_text(lint_report))
+        out("")
+        if not lint_report.ok:
+            out(
+                f"strict: {lint_report.error_count} error(s) in "
+                f"{args.capture}; refusing to analyze a corrupt stream"
+            )
+            return 1
     if args.stream:
         # Never materialise the capture: decode and summarise straight off
         # the file in O(chunk) memory.
@@ -205,6 +255,23 @@ def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
     else:
         _print_reports(capture, args.report, args.summary_limit, out)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
+    if args.captures and not args.names:
+        out("lint: capture files need at least one --names file to decode with")
+        return 2
+    explicit = bool(args.captures or args.names or args.kernel_ast)
+    options = LintOptions(
+        captures=args.captures,
+        names=args.names or (),
+        ram_depth=args.ram_depth or None,
+        kernel_ast=args.kernel_ast,
+        self_check=args.self_check or not explicit,
+    )
+    report = lint_paths(options)
+    out(render_json(report) if args.json else render_text(report))
+    return report.exit_code
 
 
 def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
@@ -268,8 +335,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="append", choices=REPORTS, default=None
     )
     analyze.add_argument("--summary-limit", type=int, default=12)
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="run the proflint stream verifier first; refuse to analyze "
+        "(exit 1) if the capture has any error-severity diagnostic",
+    )
     _add_pipeline_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint",
+        help="proflint: statically verify the tag->trigger->capture chain",
+        description="Static verification of the profiling chain — no "
+        "workload runs.  With no arguments, performs the self-check: "
+        "build the case-study image, then lint its name table, the "
+        "kernel source discipline, and the _ProfileBase link.",
+    )
+    lint.add_argument(
+        "captures", nargs="*",
+        help="capture file(s) for the stream verifier (needs --names)",
+    )
+    lint.add_argument(
+        "--names", action="append", default=None,
+        help="name/tag file(s): linted themselves and used to decode "
+        "captures (repeatable, checked as a concatenation)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON report (stable schema) instead of text",
+    )
+    lint.add_argument(
+        "--ram-depth", type=int, default=DEFAULT_DEPTH, metavar="N",
+        help=f"trace-RAM depth for the overflow check (default "
+        f"{DEFAULT_DEPTH}; 0 disables)",
+    )
+    lint.add_argument(
+        "--kernel-ast", action="store_true",
+        help="lint kernel sources for enter/leave and spl discipline",
+    )
+    lint.add_argument(
+        "--self-check", action="store_true",
+        help="lint the shipped case-study configuration (default when "
+        "no other artifacts are given)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     workloads = sub.add_parser("workloads", help="list available workloads")
     workloads.set_defaults(func=cmd_workloads)

@@ -1,0 +1,388 @@
+"""Pass 2 — lint kernel source for trigger and spl discipline.
+
+Pure :mod:`ast` analysis over ``src/repro/kernel/**`` (no import, no
+execution).  Two disciplines are checked, both of the
+lock-discipline-checker shape:
+
+* **enter/leave pairing** — a function that calls ``k.enter(META)``
+  must guarantee ``k.leave(META)`` on *every* exit path (return, raise,
+  fall-off-the-end).  A missed ``leave`` desynchronises the shadow
+  kstack and, worse, leaves the exit trigger unemitted: every capture
+  taken afterwards has an entry with no exit and the analyser invents
+  frames to compensate.
+
+* **spl balance** — a function that raises the interrupt priority
+  (``s = splnet(k)`` …) must restore it (``splx(k, s)`` / ``spl0(k)``)
+  before returning, or interrupts stay masked forever.
+
+The control-flow treatment is a deliberately simple abstract walk: each
+branch of an ``if`` is scanned with a copy of the state; loop bodies
+are scanned once (one-iteration approximation); a ``try``'s
+``finally`` *shields* whatever it closes, which is how the canonical
+``enter; try: ...; finally: leave`` idiom passes.  The approximations
+are one-sided where it matters: the kernel's real call sites all pass
+clean, and each seeded violation trips exactly one code (see
+``tests/test_proflint.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.lint.diagnostics import LintReport
+
+#: Calls that raise the interrupt priority level.  ``_raise_level`` (the
+#: shared body) and the ``spl*`` definitions themselves are exempt: they
+#: are the mechanism, not users of it.
+SPL_RAISE_FUNCTIONS = frozenset(
+    {"splnet", "splbio", "spltty", "splclock", "splhigh", "splsoftclock"}
+)
+
+#: Calls that restore the interrupt priority level.
+SPL_RESTORE_FUNCTIONS = frozenset({"splx", "spl0"})
+
+#: Function names whose *bodies* are the spl machinery and are skipped.
+SPL_DEFINITIONS = SPL_RAISE_FUNCTIONS | SPL_RESTORE_FUNCTIONS | {"_raise_level"}
+
+
+@dataclasses.dataclass
+class _State:
+    """Abstract execution state at one program point."""
+
+    #: Open enter() keys (the unparsed argument text), with the line of
+    #: the opening call for diagnostics.
+    frames: list[tuple[str, int]] = dataclasses.field(default_factory=list)
+    #: Unrestored spl raises: (function name, line).
+    spl: list[tuple[str, int]] = dataclasses.field(default_factory=list)
+
+    def copy(self) -> "_State":
+        return _State(frames=list(self.frames), spl=list(self.spl))
+
+
+@dataclasses.dataclass
+class _Outcome:
+    """Result of scanning a statement list."""
+
+    #: State at fall-through, or None when every path terminated.
+    state: Optional[_State]
+    #: States at `break` statements, to merge into the post-loop state.
+    breaks: list[_State] = dataclasses.field(default_factory=list)
+
+
+def _merge(states: Sequence[_State]) -> Optional[_State]:
+    """Join branch states: union of open frames, deepest spl nesting.
+
+    The union is conservative — a frame open on *any* incoming path is
+    treated as open — which is the right bias for a checker whose
+    finding is "this may stay open".
+    """
+    if not states:
+        return None
+    merged = states[0].copy()
+    seen = {key for key, _ in merged.frames}
+    for other in states[1:]:
+        for key, line in other.frames:
+            if key not in seen:
+                merged.frames.append((key, line))
+                seen.add(key)
+        if len(other.spl) > len(merged.spl):
+            merged.spl = list(other.spl)
+    return merged
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    """The bare or attribute name a call resolves to (``f`` / ``x.f``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_attribute_call(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Attribute)
+
+
+class _FunctionChecker:
+    """Scans one function body and emits diagnostics."""
+
+    def __init__(self, source: str, func: ast.AST, report: LintReport) -> None:
+        self.source = source
+        self.func = func
+        self.report = report
+        self.name = getattr(func, "name", "<lambda>")
+        self.saw_spl_raise: Optional[tuple[str, int]] = None
+        self.saw_spl_restore = False
+
+    def run(self) -> None:
+        body = getattr(self.func, "body", [])
+        outcome = self._scan(body, _State(), shields=frozenset(), spl_shield=False)
+        if outcome.state is not None:
+            self._check_exit(outcome.state, shields=frozenset(), spl_shield=False,
+                             line=getattr(self.func, "lineno", 1), kind="falls off the end")
+        if self.saw_spl_raise is not None and not self.saw_spl_restore:
+            fn, line = self.saw_spl_raise
+            self.report.add(
+                "P102",
+                f"{self.name}: {fn}() raises the interrupt priority but the "
+                "function never calls splx()/spl0() to restore it",
+                source=self.source,
+                line=line,
+            )
+
+    # -- statement walk -----------------------------------------------------
+
+    def _scan(
+        self,
+        stmts: Sequence[ast.stmt],
+        state: _State,
+        shields: frozenset,
+        spl_shield: bool,
+    ) -> _Outcome:
+        breaks: list[_State] = []
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Nested function: independent discipline scope.
+                _FunctionChecker(self.source, stmt, self.report).run()
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                _scan_class(self.source, stmt, self.report)
+                continue
+            if isinstance(stmt, ast.Return):
+                self._apply_calls(stmt, state)
+                self._check_exit(state, shields, spl_shield,
+                                 line=stmt.lineno, kind="returns")
+                return _Outcome(state=None, breaks=breaks)
+            if isinstance(stmt, ast.Raise):
+                self._apply_calls(stmt, state)
+                # An exception escaping with frames open skips the exit
+                # trigger unless a finally closes it.
+                self._check_exit(state, shields, spl_shield,
+                                 line=stmt.lineno, kind="raises",
+                                 check_spl=False)
+                return _Outcome(state=None, breaks=breaks)
+            if isinstance(stmt, ast.Break):
+                breaks.append(state.copy())
+                return _Outcome(state=None, breaks=breaks)
+            if isinstance(stmt, ast.Continue):
+                return _Outcome(state=None, breaks=breaks)
+            if isinstance(stmt, ast.If):
+                self._apply_calls(stmt.test, state)
+                out_body = self._scan(stmt.body, state.copy(), shields, spl_shield)
+                out_else = self._scan(stmt.orelse, state.copy(), shields, spl_shield)
+                breaks.extend(out_body.breaks)
+                breaks.extend(out_else.breaks)
+                merged = _merge(
+                    [s for s in (out_body.state, out_else.state) if s is not None]
+                )
+                if merged is None:
+                    return _Outcome(state=None, breaks=breaks)
+                state = merged
+                continue
+            if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                if isinstance(stmt, ast.While):
+                    self._apply_calls(stmt.test, state)
+                else:
+                    self._apply_calls(stmt.iter, state)
+                out_body = self._scan(stmt.body, state.copy(), shields, spl_shield)
+                # The loop may run zero times (fall through with the
+                # pre-loop state) or exit via break.
+                candidates = [state] + out_body.breaks
+                if stmt.orelse:
+                    out_else = self._scan(stmt.orelse, state.copy(), shields, spl_shield)
+                    breaks.extend(out_else.breaks)
+                    if out_else.state is not None:
+                        candidates.append(out_else.state)
+                merged = _merge(candidates)
+                assert merged is not None
+                state = merged
+                continue
+            if isinstance(stmt, ast.Try):
+                state = self._scan_try(stmt, state, shields, spl_shield, breaks)
+                if state is None:  # type: ignore[comparison-overlap]
+                    return _Outcome(state=None, breaks=breaks)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._apply_calls(item.context_expr, state)
+                out = self._scan(stmt.body, state, shields, spl_shield)
+                breaks.extend(out.breaks)
+                if out.state is None:
+                    return _Outcome(state=None, breaks=breaks)
+                state = out.state
+                continue
+            # Plain statement: apply any calls it contains, in source order.
+            self._apply_calls(stmt, state)
+        return _Outcome(state=state, breaks=breaks)
+
+    def _scan_try(
+        self,
+        stmt: ast.Try,
+        state: _State,
+        shields: frozenset,
+        spl_shield: bool,
+        breaks: list[_State],
+    ) -> Optional[_State]:
+        closes, restores_spl = _finally_effects(stmt.finalbody)
+        inner_shields = shields | closes
+        inner_spl_shield = spl_shield or restores_spl
+
+        entry_state = state.copy()
+        out_try = self._scan(stmt.body + stmt.orelse, state, inner_shields,
+                             inner_spl_shield)
+        breaks.extend(out_try.breaks)
+        candidates = []
+        if out_try.state is not None:
+            candidates.append(out_try.state)
+        for handler in stmt.handlers:
+            out_handler = self._scan(
+                handler.body, entry_state.copy(), inner_shields, inner_spl_shield
+            )
+            breaks.extend(out_handler.breaks)
+            if out_handler.state is not None:
+                candidates.append(out_handler.state)
+        merged = _merge(candidates)
+        if merged is None:
+            # Every path through the try terminated; the finally still
+            # runs on the way out, so scan it for diagnostics, but the
+            # code after the Try is unreachable.
+            if stmt.finalbody:
+                out_finally = self._scan(
+                    stmt.finalbody, entry_state.copy(), shields, spl_shield
+                )
+                breaks.extend(out_finally.breaks)
+            return None
+        # The finally body runs on the way out: scan it for real so its
+        # own calls (the canonical `leave`) update the state.
+        out_finally = self._scan(stmt.finalbody, merged, shields, spl_shield)
+        breaks.extend(out_finally.breaks)
+        return out_finally.state
+
+    # -- call effects -------------------------------------------------------
+
+    def _apply_calls(self, node: ast.AST, state: _State) -> None:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            name = _call_name(call)
+            if name == "enter" and _is_attribute_call(call) and call.args:
+                key = ast.unparse(call.args[0])
+                state.frames.append((key, call.lineno))
+            elif name == "leave" and _is_attribute_call(call) and call.args:
+                key = ast.unparse(call.args[0])
+                for i in range(len(state.frames) - 1, -1, -1):
+                    if state.frames[i][0] == key:
+                        del state.frames[i]
+                        break
+                else:
+                    self.report.add(
+                        "P104",
+                        f"{self.name}: leave({key}) without a matching "
+                        "open enter() on this path",
+                        source=self.source,
+                        line=call.lineno,
+                    )
+            elif name in SPL_RAISE_FUNCTIONS and not _is_attribute_call(call):
+                state.spl.append((name, call.lineno))
+                if self.saw_spl_raise is None:
+                    self.saw_spl_raise = (name, call.lineno)
+            elif name in SPL_RESTORE_FUNCTIONS and not _is_attribute_call(call):
+                self.saw_spl_restore = True
+                if state.spl:
+                    state.spl.pop()
+
+    def _check_exit(
+        self,
+        state: _State,
+        shields: frozenset,
+        spl_shield: bool,
+        line: int,
+        kind: str,
+        check_spl: bool = True,
+    ) -> None:
+        for key, opened_line in state.frames:
+            if key in shields:
+                continue
+            self.report.add(
+                "P101",
+                f"{self.name}: enter({key}) at line {opened_line} has no "
+                f"leave() on the path that {kind} at line {line}",
+                source=self.source,
+                line=line,
+            )
+        if check_spl and state.spl and not spl_shield:
+            fn, raised_line = state.spl[-1]
+            self.report.add(
+                "P103",
+                f"{self.name}: {fn}() at line {raised_line} is not restored "
+                f"on the path that {kind} at line {line}",
+                source=self.source,
+                line=line,
+            )
+
+
+def _finally_effects(finalbody: Sequence[ast.stmt]) -> tuple[frozenset, bool]:
+    """What a ``finally`` block guarantees: closed enter keys, spl restore."""
+    closes = set()
+    restores_spl = False
+    for stmt in finalbody:
+        for call in ast.walk(stmt):
+            if not isinstance(call, ast.Call):
+                continue
+            name = _call_name(call)
+            if name == "leave" and _is_attribute_call(call) and call.args:
+                closes.add(ast.unparse(call.args[0]))
+            elif name in SPL_RESTORE_FUNCTIONS and not _is_attribute_call(call):
+                restores_spl = True
+    return frozenset(closes), restores_spl
+
+
+def _scan_class(source: str, node: ast.ClassDef, report: LintReport) -> None:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if item.name in SPL_DEFINITIONS:
+                continue
+            _FunctionChecker(source, item, report).run()
+        elif isinstance(item, ast.ClassDef):
+            _scan_class(source, item, report)
+
+
+def lint_source_text(
+    text: str,
+    source: str = "<source>",
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Lint one module's source text."""
+    report = report if report is not None else LintReport()
+    tree = ast.parse(text)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in SPL_DEFINITIONS:
+                continue
+            _FunctionChecker(source, node, report).run()
+        elif isinstance(node, ast.ClassDef):
+            _scan_class(source, node, report)
+    return report
+
+
+def kernel_source_root() -> Path:
+    """Where the kernel source lives (resolved from the package)."""
+    import repro.kernel
+
+    return Path(repro.kernel.__file__).parent
+
+
+def lint_kernel_source(
+    root: Optional[Union[str, Path]] = None,
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Lint every module under ``src/repro/kernel/**``."""
+    report = report if report is not None else LintReport()
+    base = Path(root) if root is not None else kernel_source_root()
+    for path in sorted(base.rglob("*.py")):
+        lint_source_text(path.read_text(), source=str(path), report=report)
+    return report

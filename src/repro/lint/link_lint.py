@@ -1,0 +1,119 @@
+"""Pass 4 — check the ``_ProfileBase`` link against the live bus map.
+
+The paper's Figure 2 problem: after the 386BSD remap, the virtual
+address of the Profiler's EPROM window depends on the size of the
+kernel image, so ``_ProfileBase`` is resolved by a two-pass link.  Get
+it wrong and every ``movb _ProfileBase+tag`` either faults or — worse —
+reads some other device and records *nothing*, silently.
+
+Two entry points:
+
+* :func:`lint_layout` — offline: re-derive the layout from the link
+  inputs and compare (the two-pass convergence property), plus the ISA
+  hole bounds check;
+* :func:`lint_link` — live: take a booted kernel, decode its physical
+  ``_ProfileBase`` through the machine's bus, and verify the whole
+  16-bit tag space lands inside a tapped window (the board actually
+  sees the strobes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.instrument.linker import KernelLayout, layout_for
+from repro.instrument.tags import MAX_TAG
+from repro.lint.diagnostics import LintReport
+from repro.sim.bus import ISA_HOLE_END, ISA_HOLE_START, Bus, BusError
+
+
+def lint_layout(
+    layout: KernelLayout,
+    source: str = "<link>",
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Re-derive and cross-check a linked kernel's memory layout."""
+    report = report if report is not None else LintReport()
+    if not (ISA_HOLE_START <= layout.eprom_phys < ISA_HOLE_END):
+        report.add(
+            "P301",
+            f"EPROM physical address {layout.eprom_phys:#x} is outside the "
+            f"ISA hole [{ISA_HOLE_START:#x}, {ISA_HOLE_END:#x})",
+            source=source,
+        )
+        return report
+    expected = layout_for(layout.kernel_size, layout.eprom_phys)
+    if expected != layout:
+        report.add(
+            "P305",
+            f"layout disagrees with the two-pass derivation: _ProfileBase "
+            f"{layout.profile_base_va:#x} vs expected "
+            f"{expected.profile_base_va:#x} (ISA window {layout.isa_window_va:#x} "
+            f"vs {expected.isa_window_va:#x}) for a {layout.kernel_size}-byte "
+            "kernel",
+            source=source,
+        )
+    if layout.eprom_phys + MAX_TAG >= ISA_HOLE_END:
+        report.add(
+            "P304",
+            f"tag space [{layout.eprom_phys:#x}, "
+            f"{layout.eprom_phys + MAX_TAG:#x}] spills past the top of the "
+            f"ISA hole at {ISA_HOLE_END:#x}: high tags strobe nothing",
+            source=source,
+        )
+    return report
+
+
+def lint_link(
+    kernel,
+    source: str = "<link>",
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Check a live kernel's trigger window against its machine's bus."""
+    report = report if report is not None else LintReport()
+    base = kernel.profile_base_phys
+    if base is None:
+        if kernel.instrumented_functions:
+            report.add(
+                "P306",
+                f"kernel carries triggers for {kernel.instrumented_functions} "
+                "functions but no Profiler EPROM window is attached: the "
+                "first trigger will panic (attach_profiler first)",
+                source=source,
+            )
+        return report
+    if not (ISA_HOLE_START <= base < ISA_HOLE_END):
+        report.add(
+            "P301",
+            f"_ProfileBase physical address {base:#x} is outside the ISA "
+            f"hole [{ISA_HOLE_START:#x}, {ISA_HOLE_END:#x})",
+            source=source,
+        )
+    bus: Bus = kernel.bus
+    try:
+        region = bus.find(base)
+    except BusError:
+        report.add(
+            "P302",
+            f"_ProfileBase {base:#x} decodes to no mapped bus region: every "
+            "trigger read is a bus error",
+            source=source,
+        )
+        return report
+    if region.on_read is None:
+        report.add(
+            "P303",
+            f"window {region.name!r} at {region.base:#x} has no read tap: "
+            "trigger strobes reach the socket but no board records them",
+            source=source,
+        )
+    top = base + MAX_TAG
+    if not region.contains(top):
+        report.add(
+            "P304",
+            f"tag space [{base:#x}, {top:#x}] spills past window "
+            f"{region.name!r} which ends at {region.end:#x}: tags above "
+            f"{region.end - 1 - base} strobe outside the board",
+            source=source,
+        )
+    return report

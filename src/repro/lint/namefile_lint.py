@@ -1,0 +1,248 @@
+"""Pass 1 — lint name/tag file artifacts.
+
+The parser in :mod:`repro.instrument.namefile` is strict: it raises at
+the *first* conflict, which is right for loading but useless for a lint
+run over a hand-concatenated set of files.  This pass re-walks the text
+line by line, keeps going past every defect, and reports each one with
+its source line — duplicate names, tag-value collisions, broken
+even-entry/odd-exit pairing, modifier misuse, tag-space exhaustion, and
+(when the caller supplies the compiler's view) tags dangling versus the
+functions that were actually instrumented.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.instrument.namefile import DUMMY_NAME, NameFileError, NameTable, parse_line
+from repro.instrument.tags import ENTRY_EXIT_STRIDE, MAX_TAG, TagEntry
+from repro.lint.diagnostics import LintReport
+
+#: Fewer than this many free tag values left above the highest assigned
+#: one flags the file as nearing 16-bit exhaustion (room for 64 more
+#: entry/exit pairs).
+EXHAUSTION_HEADROOM = 2 * ENTRY_EXIT_STRIDE * 64
+
+#: ``(line, entry)`` occupancy maps shared across concatenated files:
+#: name -> claim, tag value -> claim.  A claim records where the name or
+#: value was first seen so the collision message can point back at it.
+_Claim = tuple[str, int, TagEntry]
+
+
+def _classify_parse_failure(line: str) -> tuple[str, str]:
+    """Map one unparsable line to (code, message).
+
+    Distinguishes the structural failures (no ``/``, bad integer) from
+    the tag-scheme violations (odd entry value, ``!=`` combination,
+    out-of-range value) so each gets its own stable code.
+    """
+    text = line.strip()
+    name, _, rest = text.partition("/")
+    rest = rest.strip()
+    modifiers = ""
+    while rest and rest[-1] in "!=":
+        modifiers = rest[-1] + modifiers
+        rest = rest[:-1]
+    context_switch = "!" in modifiers
+    inline = "=" in modifiers
+    try:
+        value: Optional[int] = int(rest)
+    except ValueError:
+        value = None
+    if "/" not in text or value is None:
+        return "P007", f"malformed name-file line: {text!r}"
+    if inline and context_switch:
+        return "P004", (
+            f"{name.strip()!r}: a tag cannot be both inline (=) and a "
+            "context switch (!)"
+        )
+    if not (0 <= value <= MAX_TAG):
+        return "P005", (
+            f"{name.strip()!r}: tag value {value} is outside the 16-bit "
+            f"tag space 0..{MAX_TAG}"
+        )
+    if not inline and value % 2:
+        return "P003", (
+            f"{name.strip()!r}: entry tag {value} is odd — the exit "
+            "trigger must be entry + 1, so entry tags must be even"
+        )
+    if not inline and value > MAX_TAG - 1:
+        return "P005", (
+            f"{name.strip()!r}: entry tag {value} leaves no room for its "
+            f"exit tag within 0..{MAX_TAG}"
+        )
+    return "P007", f"invalid name-file line: {text!r}"
+
+
+def _lint_text(
+    text: str,
+    source: str,
+    report: LintReport,
+    by_name: dict[str, _Claim],
+    by_value: dict[int, _Claim],
+    entries: list[_Claim],
+) -> None:
+    """Walk one file's text, folding claims into the shared maps."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        try:
+            entry = parse_line(line)
+        except NameFileError:
+            code, message = _classify_parse_failure(line)
+            report.add(code, message, source=source, line=line_number)
+            continue
+        if entry is None:
+            continue
+        entries.append((source, line_number, entry))
+
+        previous = by_name.get(entry.name)
+        if previous is not None:
+            prev_source, prev_line, prev_entry = previous
+            if prev_entry == entry:
+                # Identical re-add: harmless overlap of concatenated files.
+                continue
+            report.add(
+                "P001",
+                f"conflicting entries for {entry.name!r}: "
+                f"{prev_entry.format()} ({prev_source}:{prev_line}) vs "
+                f"{entry.format()}",
+                source=source,
+                line=line_number,
+            )
+            continue
+        by_name[entry.name] = (source, line_number, entry)
+
+        for value in entry.owned_values():
+            claimed = by_value.get(value)
+            if claimed is not None:
+                claim_source, claim_line, claim_entry = claimed
+                report.add(
+                    "P002",
+                    f"tag value {value} of {entry.name!r} already owned by "
+                    f"{claim_entry.name!r} ({claim_source}:{claim_line})",
+                    source=source,
+                    line=line_number,
+                )
+            else:
+                by_value[value] = (source, line_number, entry)
+
+
+def _lint_modifiers(
+    entries: Iterable[_Claim], report: LintReport
+) -> None:
+    """Normally exactly one function carries ``!`` (``swtch``); a second
+    one splits the event stream at the wrong places."""
+    switches = [claim for claim in entries if claim[2].context_switch]
+    if len(switches) > 1:
+        names = ", ".join(claim[2].name for claim in switches)
+        for source, line, _entry in switches[1:]:
+            report.add(
+                "P008",
+                f"{len(switches)} context-switch (!) entries ({names}); "
+                "the analysis splits code paths at every one of them",
+                source=source,
+                line=line or None,
+            )
+
+
+def _lint_headroom(
+    by_value: dict[int, _Claim], source: str, report: LintReport
+) -> None:
+    if not by_value:
+        return
+    highest = max(by_value)
+    headroom = MAX_TAG - highest
+    if headroom < EXHAUSTION_HEADROOM:
+        report.add(
+            "P006",
+            f"highest assigned tag is {highest}; only {headroom} of "
+            f"{MAX_TAG + 1} tag values remain before the 16-bit space "
+            "is exhausted",
+            source=source,
+        )
+
+
+def lint_name_file_text(
+    text: str,
+    source: str = "<namefile>",
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Lint the raw text of one name/tag file."""
+    report = report if report is not None else LintReport()
+    by_name: dict[str, _Claim] = {}
+    by_value: dict[int, _Claim] = {}
+    entries: list[_Claim] = []
+    _lint_text(text, source, report, by_name, by_value, entries)
+    _lint_modifiers(entries, report)
+    _lint_headroom(by_value, source, report)
+    return report
+
+
+def lint_name_files(
+    paths: Iterable[Union[str, Path]],
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Lint a set of name files *as a concatenation*.
+
+    The occupancy maps are shared across files, so a tag claimed by two
+    different files — the likeliest corruption in the paper's
+    multiple-name-file workflow — is reported with both locations.
+    """
+    report = report if report is not None else LintReport()
+    by_name: dict[str, _Claim] = {}
+    by_value: dict[int, _Claim] = {}
+    entries: list[_Claim] = []
+    last_source = "<namefile>"
+    for path in paths:
+        last_source = str(path)
+        _lint_text(
+            Path(path).read_text(), last_source, report, by_name, by_value, entries
+        )
+    _lint_modifiers(entries, report)
+    _lint_headroom(by_value, last_source, report)
+    return report
+
+
+def lint_name_table(
+    names: NameTable,
+    instrumented: Optional[Iterable[str]] = None,
+    source: str = "<nametable>",
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Lint an already-loaded (hence structurally valid) name table.
+
+    With *instrumented* — the function names the compiler actually
+    planted triggers in — the pass cross-checks the two directions of
+    the tag contract: a name-file entry nothing emits is dead weight
+    (and a stale-capture hazard), and an instrumented function absent
+    from the file produces permanently undecodable tags.
+    """
+    report = report if report is not None else LintReport()
+    claims = [(source, 0, entry) for entry in names]
+    _lint_modifiers(claims, report)
+    by_value: dict[int, _Claim] = {}
+    for claim in claims:
+        for value in claim[2].owned_values():
+            by_value[value] = claim
+    _lint_headroom(by_value, source, report)
+
+    if instrumented is not None:
+        have_triggers = set(instrumented)
+        in_file = {entry.name for entry in names}
+        for entry in sorted(names, key=lambda e: e.value):
+            if entry.name in have_triggers or entry.name == DUMMY_NAME:
+                continue
+            report.add(
+                "P009",
+                f"tag {entry.value} ({entry.name!r}) matches no "
+                "instrumented function: stale entry or missing recompile",
+                source=source,
+            )
+        for name in sorted(have_triggers - in_file):
+            report.add(
+                "P010",
+                f"function {name!r} carries triggers but has no name-file "
+                "entry: its tags will decode as unknown",
+                source=source,
+            )
+    return report

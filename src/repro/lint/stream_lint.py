@@ -1,0 +1,188 @@
+"""Pass 3 — verify raw capture streams against their name tables.
+
+Runs entirely on data: no workload executes.  Two layers of checking:
+
+* **raw-record checks**, straight off the 5-byte records — 24-bit timer
+  regressions (a modular inter-record delta of half the counter range
+  or more means the counter went *backwards*, i.e. the latch or the
+  battery-backed RAM corrupted), tags absent from the name file, and a
+  capture that exactly fills the trace RAM (the overflow-LED case: the
+  tail of the run is missing);
+
+* **reconstruction checks**, replaying the entry/exit stream through a
+  per-process shadow-stack state machine exactly the way the kernel's
+  own ``kstack`` works — an exit that does not match the innermost open
+  frame is the capture-side signature of the ``kstack_desync`` counter
+  the kernel keeps at run time (PR 2 made it a stat; this makes it a
+  diagnostic), interrupt frames nested deeper than the machine has
+  priority levels, and frames still open when the window closed.
+
+The reconstruction layer reuses the batch analyser
+(:func:`repro.analysis.callstack.build_call_tree`): its anomaly log is
+precisely the defect list this pass wants, so the verifier and the real
+analysis can never disagree about what a malformed stream contains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.callstack import build_call_tree
+from repro.analysis.events import EventKind, decode_records
+from repro.instrument.namefile import NameTable
+from repro.lint.diagnostics import LintReport
+from repro.profiler.capture import Capture
+from repro.profiler.ram import DEFAULT_DEPTH, RawRecord
+
+#: Interrupt nesting can never exceed the number of distinct priority
+#: levels: each nested interrupt must arrive at a strictly higher ipl.
+MAX_INTERRUPT_NESTING = 7
+
+#: Name of the interrupt-entry frame in the captured stream.
+INTERRUPT_FRAME = "ISAINTR"
+
+#: Map of reconstruction-anomaly kinds to diagnostic codes.
+_ANOMALY_CODES = {
+    "unknown-tag": "P203",
+    "missed-exit": "P205",
+    "unmatched-exit": "P205",
+    "unmatched-swtch-exit": "P207",
+}
+
+
+def lint_records(
+    records: Sequence[RawRecord],
+    names: NameTable,
+    source: str = "<capture>",
+    width_bits: int = 24,
+    ram_depth: Optional[int] = DEFAULT_DEPTH,
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Verify one raw record stream against *names*."""
+    report = report if report is not None else LintReport()
+
+    # -- raw-record layer ---------------------------------------------------
+    mask = (1 << width_bits) - 1
+    regression_floor = 1 << (width_bits - 1)
+    previous: Optional[int] = None
+    over_width = False
+    for index, record in enumerate(records):
+        if record.time > mask:
+            over_width = True
+            report.add(
+                "P202",
+                f"record time {record.time} exceeds the {width_bits}-bit "
+                "counter",
+                source=source,
+                index=index,
+            )
+        elif previous is not None:
+            delta = (record.time - previous) & mask
+            if delta >= regression_floor:
+                report.add(
+                    "P202",
+                    f"timer regressed by {mask + 1 - delta} us between "
+                    f"records {index - 1} and {index} (counter snapshots "
+                    f"{previous} -> {record.time}); latched time is "
+                    "corrupt or records were reordered",
+                    source=source,
+                    index=index,
+                )
+        previous = record.time
+
+    if ram_depth is not None and len(records) >= ram_depth:
+        report.add(
+            "P204",
+            f"capture holds {len(records)} records, the full depth of a "
+            f"{ram_depth}-word trace RAM: the overflow LED was almost "
+            "certainly lit and the tail of the run is missing",
+            source=source,
+        )
+
+    # -- reconstruction layer ------------------------------------------------
+    if over_width:
+        # The decoder (rightly) refuses counter snapshots wider than the
+        # hardware; the P202s above already say everything reconstruction
+        # could.
+        return report
+    events = decode_records(records, names, width_bits=width_bits)
+    analysis = build_call_tree(events)
+    desyncs = 0
+    for anomaly in analysis.anomalies:
+        code = _ANOMALY_CODES.get(anomaly.kind)
+        if code is None:  # pragma: no cover - future anomaly kinds
+            continue
+        if code == "P205":
+            desyncs += 1
+        report.add(
+            code,
+            f"{anomaly.detail} (t={anomaly.time_us} us)",
+            source=source,
+            index=anomaly.index,
+        )
+
+    _lint_open_frames(analysis, source, report)
+    _lint_interrupt_nesting(events, source, report)
+    return report
+
+
+def _lint_open_frames(analysis, source: str, report: LintReport) -> None:
+    """Frames never closed by a captured exit: window truncation."""
+    open_frames = [
+        node.name
+        for node in analysis.nodes()
+        if node.truncated and not node.synthetic
+    ]
+    if open_frames:
+        shown = ", ".join(open_frames[:6])
+        more = f" (+{len(open_frames) - 6} more)" if len(open_frames) > 6 else ""
+        report.add(
+            "P201",
+            f"{len(open_frames)} frame(s) still open at end of capture: "
+            f"{shown}{more}; per-function times for these calls are "
+            "truncated at the window edge",
+            source=source,
+        )
+
+
+def _lint_interrupt_nesting(events, source: str, report: LintReport) -> None:
+    depth = 0
+    for event in events:
+        if event.name != INTERRUPT_FRAME:
+            continue
+        if event.kind is EventKind.ENTRY:
+            depth += 1
+            if depth > MAX_INTERRUPT_NESTING:
+                report.add(
+                    "P206",
+                    f"{INTERRUPT_FRAME} nested {depth} deep at t="
+                    f"{event.time_us} us but the machine has only "
+                    f"{MAX_INTERRUPT_NESTING} interrupt priority levels; "
+                    "each nested interrupt needs a strictly higher ipl",
+                    source=source,
+                    index=event.index,
+                )
+        elif event.kind is EventKind.EXIT:
+            depth = max(0, depth - 1)
+
+
+def verify_capture(
+    capture: Capture,
+    source: str = "<capture>",
+    ram_depth: Optional[int] = None,
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Verify a loaded :class:`Capture` (records + names in one object)."""
+    return lint_records(
+        capture.records,
+        capture.names,
+        source=source or capture.label,
+        width_bits=capture.counter_width_bits,
+        ram_depth=ram_depth,
+        report=report,
+    )
+
+
+def count_desyncs(report: Iterable) -> int:
+    """How many kstack-desync diagnostics a report contains."""
+    return sum(1 for diagnostic in report if diagnostic.code == "P205")

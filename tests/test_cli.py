@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
 from repro.__main__ import WORKLOADS, main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 def run_cli(*argv: str) -> list[str]:
@@ -12,6 +17,12 @@ def run_cli(*argv: str) -> list[str]:
     code = main(list(argv), out=lines.append)
     assert code == 0
     return lines
+
+
+def run_cli_code(*argv: str) -> tuple[int, list[str]]:
+    lines: list[str] = []
+    code = main(list(argv), out=lines.append)
+    return code, lines
 
 
 class TestCaptureCommand:
@@ -81,6 +92,102 @@ class TestCaptureCommand:
             "capture", "--workload", "snmp-btree", "--packets", "5"
         )
         assert any("mib_search_btree" in line for line in lines)
+
+
+class TestDesyncFooter:
+    def test_capture_summary_reports_zero_desyncs(self):
+        lines = run_cli("capture", "--workload", "network", "--packets", "4")
+        assert "kstack desyncs = 0" in lines
+
+    def test_streaming_capture_also_reports_desyncs(self):
+        lines = run_cli(
+            "capture", "--workload", "network", "--packets", "4", "--stream"
+        )
+        assert "kstack desyncs = 0" in lines
+
+    def test_analyze_summary_reports_desyncs(self, tmp_path):
+        capture_file = tmp_path / "run.mpf"
+        names_file = tmp_path / "run.tags"
+        run_cli(
+            "capture", "--workload", "network", "--packets", "4",
+            "--save", str(capture_file), "--names", str(names_file),
+        )
+        lines = run_cli("analyze", str(capture_file), "--names", str(names_file))
+        assert "kstack desyncs = 0" in lines
+
+
+class TestLintCommand:
+    def test_self_check_is_default_and_clean(self):
+        code, lines = run_cli_code("lint")
+        assert code == 0
+        assert any("clean" in line for line in lines)
+
+    def test_golden_captures_lint_clean(self):
+        captures = sorted(str(p) for p in GOLDEN_DIR.glob("*.mpf"))
+        assert captures, "golden captures missing from tests/golden/"
+        code, _ = run_cli_code(
+            "lint", *captures, "--names", str(GOLDEN_DIR / "case_study.tags")
+        )
+        assert code == 0
+
+    def test_kernel_ast_pass_is_clean(self):
+        code, _ = run_cli_code("lint", "--kernel-ast")
+        assert code == 0
+
+    def test_error_diagnostics_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.tags"
+        bad.write_text("main/502\nmain/510\n")
+        code, lines = run_cli_code("lint", "--names", str(bad))
+        assert code == 1
+        assert any("P001" in line for line in lines)
+
+    def test_captures_without_names_exit_two(self, tmp_path):
+        capture = tmp_path / "x.mpf"
+        capture.write_bytes(b"MPF1\x00\x00\x00\x00")
+        code, _ = run_cli_code("lint", str(capture))
+        assert code == 2
+
+    def test_json_report(self, tmp_path):
+        bad = tmp_path / "bad.tags"
+        bad.write_text("broken/501\n")
+        code, lines = run_cli_code("lint", "--names", str(bad), "--json")
+        assert code == 1
+        document = json.loads("\n".join(lines))
+        assert document["tool"] == "proflint"
+        assert document["counts"]["error"] == 1
+        assert document["diagnostics"][0]["code"] == "P003"
+
+
+class TestStrictAnalyze:
+    def test_clean_capture_analyzes(self, tmp_path):
+        capture_file = tmp_path / "run.mpf"
+        names_file = tmp_path / "run.tags"
+        run_cli(
+            "capture", "--workload", "network", "--packets", "4",
+            "--save", str(capture_file), "--names", str(names_file),
+        )
+        lines = run_cli(
+            "analyze", str(capture_file), "--names", str(names_file), "--strict"
+        )
+        text = "\n".join(lines)
+        assert "clean" in text and "Elapsed time" in text
+
+    def test_corrupt_capture_refused(self, tmp_path):
+        capture_file = tmp_path / "run.mpf"
+        names_file = tmp_path / "run.tags"
+        run_cli(
+            "capture", "--workload", "network", "--packets", "4",
+            "--save", str(capture_file), "--names", str(names_file),
+        )
+        data = capture_file.read_bytes()
+        capture_file.write_bytes(data[:-3])  # tear the last record
+        code, lines = run_cli_code(
+            "analyze", str(capture_file), "--names", str(names_file), "--strict"
+        )
+        assert code == 1
+        text = "\n".join(lines)
+        assert "P200" in text and "refusing to analyze" in text
+        assert "Elapsed time" not in text  # analysis never ran
 
 
 class TestOtherCommands:

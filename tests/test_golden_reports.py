@@ -101,3 +101,75 @@ def test_sharded_matches_figure5_golden(forkexec_capture):
     text = result.summary.format(limit=20) + "\n"
     if not os.environ.get("REGEN_GOLDEN"):
         assert text == (GOLDEN_DIR / "figure5_forkexec_summary.txt").read_text()
+
+
+# -- binary capture goldens (inputs to the proflint CI gate) -----------------
+#
+# Tag values are assigned in kfunc *declaration* order, which follows
+# module import order — and pytest's collection imports test modules in
+# whatever set was selected, perturbing that order.  So the binary
+# goldens are pinned to the one import sequence that is reproducible
+# anywhere: a fresh `python -m repro capture` subprocess.  Regenerate
+# with REGEN_GOLDEN=1 like the text goldens.
+
+CAPTURE_RECIPES = {
+    "figure3_network.mpf": ["--workload", "network", "--packets", "6"],
+    "figure5_forkexec.mpf": ["--workload", "forkexec", "--packets", "15"],
+}
+
+
+def _cli_capture(args: list[str], save: pathlib.Path, names=None) -> None:
+    import subprocess
+    import sys
+
+    src = pathlib.Path(__file__).parent.parent / "src"
+    env = dict(os.environ, PYTHONPATH=str(src))
+    command = [sys.executable, "-m", "repro", "capture", *args, "--save", str(save)]
+    if names is not None:
+        command += ["--names", str(names)]
+    subprocess.run(command, check=True, env=env, stdout=subprocess.DEVNULL)
+
+
+@pytest.mark.parametrize("name,args", sorted(CAPTURE_RECIPES.items()))
+def test_capture_bytes_golden(name, args, tmp_path):
+    """The raw .mpf bytes `python -m repro lint` gates on in CI must
+    regenerate byte-identically from a fresh process."""
+    golden = GOLDEN_DIR / name
+    names_out = tmp_path / "fresh.tags" if name == "figure3_network.mpf" else None
+    if os.environ.get("REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        _cli_capture(args, golden, names=GOLDEN_DIR / "case_study.tags"
+                     if names_out else None)
+        pytest.skip(f"regenerated {golden}")
+    assert golden.exists(), (
+        f"golden file {golden} missing; run with REGEN_GOLDEN=1 to create it"
+    )
+    fresh = tmp_path / name
+    _cli_capture(args, fresh, names=names_out)
+    assert fresh.read_bytes() == golden.read_bytes(), (
+        f"{name} drifted from the golden copy; the capture pipeline is no "
+        "longer deterministic, or the record format changed — regenerate "
+        "with REGEN_GOLDEN=1 and review"
+    )
+    if names_out is not None:
+        assert names_out.read_text() == (
+            GOLDEN_DIR / "case_study.tags"
+        ).read_text(), "the name/tag file drifted from case_study.tags"
+
+
+def test_golden_capture_decodes_to_golden_summary():
+    """Cross-check the binary goldens against the text goldens: loading
+    figure3_network.mpf with case_study.tags must reproduce the exact
+    Figure 3 summary text.  This ties the .mpf/.tags pair to the same
+    truth the report tests assert, whatever tag values they contain."""
+    if os.environ.get("REGEN_GOLDEN"):
+        pytest.skip("regenerating")
+    from repro.instrument.namefile import NameTable
+    from repro.profiler.capture import Capture
+
+    names = NameTable.read(GOLDEN_DIR / "case_study.tags")
+    capture = Capture.load(GOLDEN_DIR / "figure3_network.mpf", names)
+    from repro.analysis.callstack import analyze_capture
+
+    text = summarize(analyze_capture(capture)).format(limit=20) + "\n"
+    assert text == (GOLDEN_DIR / "figure3_network_summary.txt").read_text()

@@ -107,6 +107,72 @@ class TestNameFileParsing:
         assert parse_line("# x") is None
 
 
+class TestModifierEdgeCases:
+    """The '!' and '=' modifier corners the paper leaves implicit."""
+
+    def test_context_switch_on_exit_tag_rejected(self):
+        """'!' marks a whole function; its tag value is still an entry
+        tag and must be even — an odd value would alias some other
+        function's exit trigger."""
+        with pytest.raises(NameFileError):
+            parse_line("swtch/601!")
+
+    def test_inline_combined_with_context_switch_rejected(self):
+        # Both modifier orders — the parser accepts either order
+        # syntactically, so the rejection must come from the tag rules.
+        with pytest.raises(NameFileError):
+            parse_line("swtch/600!=")
+        with pytest.raises(NameFileError):
+            parse_line("swtch/600=!")
+
+    def test_modifier_order_is_insignificant_when_legal(self):
+        # A lone modifier parses the same wherever it sits.
+        assert parse_line("swtch/600!").context_switch
+        assert parse_line("MGET/1003=").inline
+
+    def test_inline_exit_value_never_allocated(self):
+        """An inline tag owns exactly one value; the next allocation may
+        use the adjacent odd slot's successor but never the slot an
+        entry/exit pair would need."""
+        table = parse_name_file("MGET/1002=\n")
+        entry = table.allocate("after_inline")
+        assert entry.value == 1004
+        assert 1003 not in {v for e in table for v in e.owned_values()}
+
+    def test_reparse_auto_extended_file_keeps_tags(self, tmp_path):
+        """The compiler's append-then-reread cycle: auto-extend a table,
+        write it, re-parse it, extend again — previously assigned tags
+        must survive both trips byte-identically."""
+        path = tmp_path / "kernel.tags"
+        table = parse_name_file(PAPER_SAMPLE)
+        first = table.allocate("tcp_input")
+        table.write(path)
+
+        again = NameTable.read(path)
+        assert again.by_name("tcp_input").value == first.value
+        assert again.by_name("swtch").format() == "swtch/600!"
+        assert again.by_name("MGET").format() == "MGET/1002="
+
+        second = again.allocate("tcp_output")
+        again.write(path)
+        third = NameTable.read(path)
+        assert third.by_name("tcp_input").value == first.value
+        assert third.by_name("tcp_output").value == second.value
+        assert second.value > first.value
+
+    def test_reparse_preserves_inline_oddness(self, tmp_path):
+        """An odd inline tag (hand-added assembler trigger) survives the
+        write/read cycle without being 'corrected' to even."""
+        path = tmp_path / "asm.tags"
+        table = NameTable()
+        table.add(TagEntry(name="locore_hook", value=777, inline=True))
+        table.write(path)
+        again = NameTable.read(path)
+        entry = again.by_name("locore_hook")
+        assert entry.value == 777 and entry.inline
+        assert entry.owned_values() == (777,)
+
+
 class TestNameTable:
     def test_allocate_is_stable_across_recompiles(self):
         """Paper: "Once generated, the same profile tags are used to allow
