@@ -7,6 +7,8 @@ Usage examples::
         --names run.tags
     python -m repro analyze run.mpf --names run.tags --report trace
     python -m repro analyze run.mpf --names run.tags --strict
+    python -m repro analyze damaged.mpf --names run.tags --salvage
+    python -m repro capture doctor damaged.mpf -o repaired.mpf
     python -m repro lint run.mpf --names run.tags --json
     python -m repro lint --kernel-ast
     python -m repro workloads
@@ -32,6 +34,7 @@ from repro.analysis.trace import format_trace
 from repro.instrument.namefile import NameTable
 from repro.lint import (
     LintOptions,
+    lint_capture_defects,
     lint_capture_file,
     lint_paths,
     render_json,
@@ -39,7 +42,11 @@ from repro.lint import (
 )
 from repro.profiler.capture import Capture
 from repro.profiler.ram import DEFAULT_DEPTH
-from repro.profiler.upload import iter_capture_file
+from repro.profiler.upload import (
+    iter_capture_file,
+    salvage_capture,
+    write_capture_file,
+)
 from repro.system import build_case_study
 
 WORKLOADS: dict[str, str] = {
@@ -227,8 +234,25 @@ def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
     return 0
 
 
+def _defect_footer(capture: Capture, source: str, out: Callable) -> None:
+    """The salvage footer appended below every ``analyze --salvage`` report."""
+    if capture.defects:
+        out(f"salvage: {len(capture.defects)} defect(s) tolerated in {source}:")
+        for defect in capture.defects:
+            out(f"  [{defect.kind}] {defect.message}")
+    else:
+        out(f"salvage: no defects found in {source}")
+
+
 def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
     _check_pipeline_flags(args)
+    if args.salvage and args.strict:
+        raise SystemExit("--salvage and --strict are mutually exclusive")
+    if args.salvage and args.stream:
+        raise SystemExit(
+            "--stream cannot salvage: resynchronisation needs the whole "
+            "file; drop one of the flags"
+        )
     names = NameTable.read(*args.names)
     if args.strict:
         lint_report = lint_capture_file(args.capture, names)
@@ -248,13 +272,61 @@ def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
         out(summary.format(limit=args.summary_limit))
         out("")
         return 0
-    capture = Capture.load(args.capture, names, label=f"cli: {args.capture}")
+    capture = Capture.load(
+        args.capture, names, label=f"cli: {args.capture}", salvage=args.salvage
+    )
     out(f"loaded {len(capture)} events from {args.capture}")
     if args.shards is not None:
         _print_sharded_summary(capture, args, out)
     else:
         _print_reports(capture, args.report, args.summary_limit, out)
+    if args.salvage:
+        _defect_footer(capture, args.capture, out)
     return 0
+
+
+def cmd_doctor(args: argparse.Namespace, out: Callable) -> int:
+    """``repro capture doctor``: diagnose and repair a damaged capture.
+
+    Exit codes: 0 — file is clean; 1 — defects found but records were
+    recovered (and rewritten if ``-o`` was given); 2 — the file is not
+    recognisably a capture (nothing recoverable).
+    """
+    source = str(args.file)
+    try:
+        result = salvage_capture(args.file)
+    except OSError as exc:
+        out(f"doctor: cannot read {source}: {exc}")
+        return 2
+    report = lint_capture_defects(result.defects, source=source)
+    if result.meta.version == 1:
+        report.add(
+            "P208",
+            "MPF1 carries no capture metadata: counter width/rate, overflow "
+            "flag and label assumed stock — rewrite with -o to upgrade",
+            source=source,
+        )
+    for diagnostic in report:
+        out(diagnostic.format())
+    version = f"MPF{result.meta.version}" if result.meta.version else "unknown format"
+    out(
+        f"doctor: {len(result.defects)} defect(s); {len(result.records)} "
+        f"record(s) recovered ({version})"
+    )
+    if result.meta.version == 0:
+        return 2
+    if args.output:
+        meta = result.meta
+        write_capture_file(
+            args.output,
+            result.records,
+            counter_width_bits=meta.counter_width_bits,
+            counter_rate_hz=meta.counter_rate_hz,
+            overflowed=meta.overflowed,
+            label=meta.label,
+        )
+        out(f"repaired MPF2 capture written to {args.output}")
+    return 1 if result.defects else 0
 
 
 def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
@@ -325,6 +397,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_flags(capture)
     capture.set_defaults(func=cmd_capture)
 
+    capture_sub = capture.add_subparsers(dest="capture_command")
+    doctor = capture_sub.add_parser(
+        "doctor",
+        help="diagnose (and optionally repair) a damaged capture file",
+        description="Run the salvaging decoder over a capture file: report "
+        "every tolerated defect (truncation, bit flips, header lies) as a "
+        "P2xx diagnostic and, with -o, rewrite the recovered records as a "
+        "clean MPF2 file.  Exit codes: 0 clean, 1 defects but records "
+        "recovered, 2 not recognisably a capture.",
+    )
+    doctor.add_argument("file", help="capture file to examine")
+    doctor.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="rewrite the recovered records as a clean MPF2 capture here",
+    )
+    doctor.set_defaults(func=cmd_doctor)
+
     analyze = sub.add_parser("analyze", help="analyse a saved capture file")
     analyze.add_argument("capture", help="capture file (from capture --save)")
     analyze.add_argument(
@@ -339,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="run the proflint stream verifier first; refuse to analyze "
         "(exit 1) if the capture has any error-severity diagnostic",
+    )
+    analyze.add_argument(
+        "--salvage", action="store_true",
+        help="decode fault-tolerantly: recover every intact record from a "
+        "damaged file and list the tolerated defects in a report footer "
+        "instead of refusing",
     )
     _add_pipeline_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)

@@ -22,7 +22,16 @@ from typing import Iterable, Iterator, Optional, Sequence
 from repro.instrument.namefile import NameTable
 from repro.instrument.tags import TagEntry, TagKind
 from repro.profiler.capture import Capture
-from repro.profiler.ram import RawRecord
+from repro.profiler.ram import TIME_BITS, RawRecord
+
+
+def _check_width(width_bits: int) -> None:
+    """A wrong wrap mask corrupts every reconstructed interval, so the
+    counter width is validated wherever one enters the decode path."""
+    if not (1 <= width_bits <= TIME_BITS):
+        raise ValueError(
+            f"counter width {width_bits} outside 1..{TIME_BITS} bits"
+        )
 
 
 class EventKind(enum.Enum):
@@ -67,6 +76,7 @@ def reconstruct_times(
     The first record defines t=0; each subsequent record advances by the
     modular difference from its predecessor.
     """
+    _check_width(width_bits)
     mask = (1 << width_bits) - 1
     times: list[int] = []
     absolute = 0
@@ -111,6 +121,7 @@ def iter_decoded_events(
     a longer run (a shard) while keeping indices and timestamps in the
     whole-run frame of reference.
     """
+    _check_width(width_bits)
     mask = (1 << width_bits) - 1
     absolute = time_base_us
     previous: Optional[int] = None

@@ -122,6 +122,9 @@ def plan_shards(
     """
     if max_shard_events <= 0:
         raise ValueError(f"max_shard_events must be positive, got {max_shard_events}")
+    from repro.analysis.events import _check_width
+
+    _check_width(width_bits)
     n = len(records)
     if n == 0:
         return []

@@ -40,6 +40,13 @@ def full_report(
             "note: the Profiler RAM overflowed during this run; the capture"
             " covers only the interval up to the overflow LED"
         )
+    if capture.defects:
+        parts.append(
+            f"note: this capture was salvaged; {len(capture.defects)} "
+            "defect(s) were tolerated:"
+        )
+        for defect in capture.defects:
+            parts.append(f"  [{defect.kind}] {defect.message}")
     parts.append(summary.format(limit=summary_limit))
     if include_trace:
         parts.append("")

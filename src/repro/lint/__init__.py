@@ -43,14 +43,21 @@ from repro.lint.runner import (
     render_json,
     render_text,
 )
-from repro.lint.stream_lint import lint_records, verify_capture
+from repro.lint.stream_lint import (
+    DEFECT_CODES,
+    lint_capture_defects,
+    lint_records,
+    verify_capture,
+)
 
 __all__ = [
     "CODE_TABLE",
+    "DEFECT_CODES",
     "Diagnostic",
     "LintOptions",
     "LintReport",
     "Severity",
+    "lint_capture_defects",
     "lint_capture_file",
     "lint_kernel_source",
     "lint_layout",

@@ -53,6 +53,12 @@ CODE_TABLE: dict[str, tuple[Severity, str]] = {
     "P205": (Severity.ERROR, "kstack desync: exit does not match open frame"),
     "P206": (Severity.ERROR, "interrupt nesting deeper than priority levels"),
     "P207": (Severity.WARNING, "context-switch exit with no open swtch frame"),
+    "P208": (Severity.INFO, "legacy MPF1 capture: metadata defaulted to stock"),
+    "P209": (Severity.ERROR, "capture header truncated or malformed"),
+    "P210": (Severity.ERROR, "record stream CRC32 disagrees with header"),
+    "P211": (Severity.WARNING, "trailing partial record dropped by salvage"),
+    "P212": (Severity.WARNING, "header record count disagrees with stream"),
+    "P213": (Severity.ERROR, "capture magic corrupt; format resynchronised"),
     # -- P3xx: link / bus map -----------------------------------------------
     "P301": (Severity.ERROR, "EPROM base outside the ISA hole"),
     "P302": (Severity.ERROR, "_ProfileBase resolves to no mapped bus region"),

@@ -37,9 +37,9 @@ from repro.lint.ast_lint import lint_kernel_source
 from repro.lint.diagnostics import CODE_TABLE, LintReport, Severity
 from repro.lint.link_lint import lint_link
 from repro.lint.namefile_lint import lint_name_files, lint_name_table
-from repro.lint.stream_lint import lint_records
+from repro.lint.stream_lint import lint_capture_defects, lint_records
 from repro.profiler.ram import DEFAULT_DEPTH
-from repro.profiler.upload import read_capture_file
+from repro.profiler.upload import read_capture, salvage_capture
 
 
 @dataclasses.dataclass
@@ -84,17 +84,46 @@ def lint_capture_file(
     names: NameTable,
     ram_depth: Optional[int] = DEFAULT_DEPTH,
     report: Optional[LintReport] = None,
+    salvage: bool = False,
 ) -> LintReport:
-    """Run the stream verifier over one capture file."""
+    """Run the stream verifier over one capture file.
+
+    A file the strict reader rejects gets a single ``P200``; with
+    ``salvage=True`` the salvaging decoder then takes over — its
+    tolerated faults become file-level diagnostics (P209–P213) and the
+    recovered records still go through the stream checks, so a damaged
+    capture yields a full report instead of one opaque error.
+    """
     report = report if report is not None else LintReport()
     source = str(path)
     try:
-        records = read_capture_file(path)
-    except (OSError, ValueError) as exc:
+        records, meta = read_capture(path)
+    except OSError as exc:
         report.add("P200", f"cannot read capture: {exc}", source=source)
         return report
+    except ValueError as exc:
+        report.add("P200", f"cannot read capture: {exc}", source=source)
+        if not salvage:
+            return report
+        result = salvage_capture(path)
+        lint_capture_defects(result.defects, source=source, report=report)
+        records, meta = result.records, result.meta
+        if not records:
+            return report
+    if meta.version == 1:
+        report.add(
+            "P208",
+            "MPF1 carries no capture metadata: counter width/rate, overflow "
+            "flag and label assumed stock",
+            source=source,
+        )
     return lint_records(
-        records, names, source=source, ram_depth=ram_depth, report=report
+        records,
+        names,
+        source=source,
+        width_bits=meta.counter_width_bits,
+        ram_depth=ram_depth,
+        report=report,
     )
 
 

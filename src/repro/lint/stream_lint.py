@@ -33,6 +33,7 @@ from repro.instrument.namefile import NameTable
 from repro.lint.diagnostics import LintReport
 from repro.profiler.capture import Capture
 from repro.profiler.ram import DEFAULT_DEPTH, RawRecord
+from repro.profiler.upload import CaptureDefect
 
 #: Interrupt nesting can never exceed the number of distinct priority
 #: levels: each nested interrupt must arrive at a strictly higher ipl.
@@ -48,6 +49,36 @@ _ANOMALY_CODES = {
     "unmatched-exit": "P205",
     "unmatched-swtch-exit": "P207",
 }
+
+#: Map of salvage-decoder defect kinds (:class:`CaptureDefect.kind`) to
+#: file-level diagnostic codes.  Stable API, like the codes themselves.
+DEFECT_CODES = {
+    "bad-magic": "P213",
+    "truncated-header": "P209",
+    "bad-header-field": "P209",
+    "crc-mismatch": "P210",
+    "partial-record": "P211",
+    "count-mismatch": "P212",
+}
+
+
+def lint_capture_defects(
+    defects: Iterable[CaptureDefect],
+    source: str = "<capture>",
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Map the salvaging decoder's :class:`CaptureDefect` list to
+    file-level diagnostics (the P208–P213 block)."""
+    report = report if report is not None else LintReport()
+    for defect in defects:
+        code = DEFECT_CODES.get(defect.kind)
+        if code is None:  # pragma: no cover - future defect kinds
+            continue
+        message = defect.message
+        if defect.offset is not None:
+            message = f"{message} (byte offset {defect.offset})"
+        report.add(code, message, source=source)
+    return report
 
 
 def lint_records(

@@ -23,15 +23,26 @@ from repro.profiler.hardware import ProfilerBoard
 from repro.profiler.eprom import EpromSocket, PiggyBackAdapter
 from repro.profiler.upload import (
     RECORD_BYTES,
+    CaptureDefect,
+    CaptureMeta,
+    CaptureMetadataWarning,
+    SalvageResult,
     dump_records,
     load_records,
+    read_capture,
     read_capture_file,
+    salvage_capture,
+    salvage_capture_stream,
     write_capture_file,
+    write_capture_stream,
 )
 from repro.profiler.capture import Capture, CaptureSession
 
 __all__ = [
     "Capture",
+    "CaptureDefect",
+    "CaptureMeta",
+    "CaptureMetadataWarning",
     "CaptureSession",
     "ControlLogic",
     "EpromSocket",
@@ -40,9 +51,14 @@ __all__ = [
     "ProfilerBoard",
     "RawRecord",
     "RECORD_BYTES",
+    "SalvageResult",
     "TraceRam",
     "dump_records",
     "load_records",
+    "read_capture",
     "read_capture_file",
+    "salvage_capture",
+    "salvage_capture_stream",
     "write_capture_file",
+    "write_capture_stream",
 ]

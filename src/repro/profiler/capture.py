@@ -10,12 +10,19 @@ table that gives the tags meaning, which is everything the analysis layer
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from repro.profiler.hardware import ProfilerBoard
 from repro.profiler.ram import RawRecord
-from repro.profiler.upload import read_capture_file, write_capture_file
+from repro.profiler.upload import (
+    CaptureDefect,
+    CaptureMetadataWarning,
+    read_capture,
+    salvage_capture,
+    write_capture_file,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.instrument.namefile import NameTable
@@ -27,7 +34,9 @@ class Capture:
 
     ``records`` are exactly what the hardware stored (wrapped 24-bit
     times); ``names`` maps tags back to functions; ``overflowed`` is the
-    state of the overflow LED when the RAMs were pulled.
+    state of the overflow LED when the RAMs were pulled.  ``defects`` is
+    non-empty only for captures loaded with ``salvage=True``: the faults
+    the decoder tolerated while recovering the records.
     """
 
     records: tuple[RawRecord, ...]
@@ -36,21 +45,72 @@ class Capture:
     label: str = ""
     counter_width_bits: int = 24
     counter_rate_hz: int = 1_000_000
+    defects: tuple[CaptureDefect, ...] = ()
 
     def __len__(self) -> int:
         return len(self.records)
 
-    def save(self, path: Union[str, Path]) -> int:
-        """Write the raw records to a capture file (names travel separately,
-        exactly as in the paper's workflow)."""
-        return write_capture_file(path, self.records)
+    def save(self, path: Union[str, Path], *, version: int = 2) -> int:
+        """Write the records to a capture file (names travel separately,
+        exactly as in the paper's workflow).
+
+        MPF2 by default, so the counter geometry, overflow flag and label
+        survive the trip; ``version=1`` writes the legacy header for old
+        tools (and warns when that drops non-stock metadata).
+        """
+        return write_capture_file(
+            path,
+            self.records,
+            version=version,
+            counter_width_bits=self.counter_width_bits,
+            counter_rate_hz=self.counter_rate_hz,
+            overflowed=self.overflowed,
+            label=self.label,
+        )
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], names: "NameTable", label: str = ""
+        cls,
+        path: Union[str, Path],
+        names: "NameTable",
+        label: str = "",
+        *,
+        salvage: bool = False,
     ) -> "Capture":
-        """Re-read a saved capture, pairing it with *names*."""
-        return cls(records=tuple(read_capture_file(path)), names=names, label=label)
+        """Re-read a saved capture, pairing it with *names*.
+
+        MPF2 files restore every field; MPF1 files carry no metadata, so
+        the counter geometry and overflow flag default to stock values and
+        a :class:`CaptureMetadataWarning` says so.  With ``salvage=True``
+        a damaged file is decoded fault-tolerantly instead of raising:
+        every recoverable record is kept and the tolerated faults land in
+        :attr:`Capture.defects`.
+        """
+        defects: tuple[CaptureDefect, ...] = ()
+        if salvage:
+            result = salvage_capture(path)
+            records, meta = result.records, result.meta
+            defects = tuple(result.defects)
+        else:
+            records, meta = read_capture(path)
+        if meta.version == 1:
+            warnings.warn(
+                f"{path}: MPF1 carries no capture metadata; counter "
+                "width/rate and the overflow flag defaulted to stock values "
+                "— resave as MPF2 (Capture.save) to make the file "
+                "self-describing",
+                CaptureMetadataWarning,
+                stacklevel=2,
+            )
+        return cls(
+            records=tuple(records),
+            names=names,
+            overflowed=meta.overflowed,
+            label=label or meta.label,
+            counter_width_bits=meta.counter_width_bits,
+            counter_rate_hz=meta.counter_rate_hz,
+            defects=defects,
+        )
 
 
 class CaptureSession:

@@ -3,34 +3,128 @@
 The paper's workflow: "the timing data is retrieved by transferring the
 RAMs into another networked embedded host, and copying the profile data to
 a UNIX host for processing."  The future-work section proposes reading the
-RAMs back *through* the EPROM window instead.  Both paths are modelled:
+RAMs back *through* the EPROM window instead.  All three paths are
+modelled:
 
 * :func:`dump_records` / :func:`load_records` — the canonical 5-byte
   big-endian record stream (16-bit tag, 24-bit time);
-* :func:`write_capture_file` / :func:`read_capture_file` — the stream with
-  a small self-identifying header, the on-disk interchange format;
+* :func:`write_capture_file` / :func:`read_capture` — the stream with a
+  self-identifying header, the on-disk interchange format;
 * :class:`EpromReadback` — the future-work mode: each RAM bank is
   multiplexed into the EPROM address space and read as if it were an
   EPROM, bank by bank.
+
+Two header versions exist on disk.  **MPF1** is magic + u32 record count
+and nothing else: a file that crossed hosts lost the counter geometry and
+the overflow-LED state, so a non-stock capture decoded with the wrong wrap
+mask.  **MPF2** is self-describing — counter width and rate, the overflow
+flag, a free-form label and a CRC32 of the record stream — and carries its
+own header size so future fields can append without breaking old readers::
+
+    MPF1                          MPF2
+    0  4  magic "MPF1"            0   4  magic "MPF2"
+    4  4  record count            4   2  header size H (>= 22)
+    8  …  records                 6   4  record count
+                                  10  1  counter width (bits)
+                                  11  4  counter rate (Hz)
+                                  15  1  flags (bit 0 = overflowed)
+                                  16  4  CRC32 of the record stream
+                                  20  2  label length L
+                                  22  L  label (UTF-8);  H = 22 + L
+                                  H   …  records
+
+All multi-byte fields are big-endian.  Writers default to MPF2; every
+reader accepts both versions transparently.  For files that met a real
+transfer path (pipes, truncation, flipped bits) there is a salvaging
+decoder, :func:`salvage_capture_stream`, that resynchronises instead of
+throwing and reports what it had to tolerate as :class:`CaptureDefect`s.
 """
 
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import io
+import warnings
+import zlib
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator, Sequence, Union
+from typing import BinaryIO, Iterable, Iterator, Optional, Sequence, Union
 
-from repro.profiler.ram import RawRecord, TraceRam
+from repro.profiler.ram import TIME_BITS, RawRecord, TraceRam
 
 #: Bytes per serialised record: 2 tag + 3 time.
 RECORD_BYTES = 5
 
-#: Capture-file magic: "McRae Profiler Format, version 1".
+#: Capture-file magic: "McRae Profiler Format", versions 1 and 2.
 MAGIC = b"MPF1"
+MAGIC_V2 = b"MPF2"
+
+#: MPF1 header: magic + u32 count.
+V1_HEADER_BYTES = 8
+
+#: MPF2 header without the label: everything up to the label bytes.
+V2_FIXED_HEADER_BYTES = 22
+
+#: Byte offsets of the backpatched MPF2 fields (count, CRC32).
+_V2_COUNT_OFFSET = 6
+_V2_CRC_OFFSET = 16
+
+#: The header count field is 32-bit in both versions.
+MAX_RECORDS = 1 << 32
+
+#: What an MPF1 header silently implies (the stock board).
+STOCK_WIDTH_BITS = TIME_BITS
+STOCK_RATE_HZ = 1_000_000
 
 #: Records per read() in the streaming readers (8192 records = 40 KiB).
 DEFAULT_CHUNK_RECORDS = 8192
+
+
+class CaptureMetadataWarning(UserWarning):
+    """Capture metadata was defaulted or dropped at a format boundary."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureMeta:
+    """What a capture-file header says about its records.
+
+    ``version`` is 1 or 2 (0 means the salvager could not even identify
+    the format).  For MPF1 files the counter fields are the stock-board
+    defaults the format implies, not anything the file recorded, and
+    ``crc32`` is ``None``.
+    """
+
+    version: int
+    count: int
+    counter_width_bits: int = STOCK_WIDTH_BITS
+    counter_rate_hz: int = STOCK_RATE_HZ
+    overflowed: bool = False
+    label: str = ""
+    crc32: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureDefect:
+    """One fault the salvaging decoder tolerated.
+
+    ``kind`` is a stable machine-readable string (``bad-magic``,
+    ``truncated-header``, ``bad-header-field``, ``partial-record``,
+    ``count-mismatch``, ``crc-mismatch``); ``offset`` is the byte offset
+    in the file where the fault sits, when that is meaningful.
+    """
+
+    kind: str
+    message: str
+    offset: Optional[int] = None
+
+
+@dataclasses.dataclass
+class SalvageResult:
+    """Everything the salvaging decoder recovered from one file."""
+
+    records: list[RawRecord]
+    defects: list[CaptureDefect]
+    meta: CaptureMeta
 
 
 def dump_records(records: Iterable[RawRecord]) -> bytes:
@@ -82,104 +176,599 @@ def iter_record_stream(
         )
 
 
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    """Read exactly *size* bytes, looping over short reads.
+
+    A pipe or socket may legally return fewer bytes than asked; a single
+    ``stream.read(n)`` there would misparse a perfectly good header.
+    Returns whatever arrived before EOF (possibly short) — the caller
+    decides whether a short result is an error.
+    """
+    chunks: list[bytes] = []
+    need = size
+    while need > 0:
+        blob = stream.read(need)
+        if not blob:
+            break
+        chunks.append(blob)
+        need -= len(blob)
+    return b"".join(chunks)
+
+
+class _Crc32Tap:
+    """A read-through wrapper accumulating the CRC32 of everything read."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self.crc32 = 0
+
+    def read(self, size: int = -1) -> bytes:
+        blob = self._stream.read(size)
+        if blob:
+            self.crc32 = zlib.crc32(blob, self.crc32)
+        return blob
+
+
+def _check_count(count: int) -> None:
+    if count >= MAX_RECORDS:
+        raise ValueError(
+            f"capture holds {count} records but the header count field is "
+            f"32-bit (max {MAX_RECORDS - 1}); split the run into multiple "
+            "capture files"
+        )
+
+
+def _encode_v2_header(
+    count: int,
+    counter_width_bits: int,
+    counter_rate_hz: int,
+    overflowed: bool,
+    label: str,
+    crc32: int,
+) -> bytes:
+    if not (1 <= counter_width_bits <= TIME_BITS):
+        raise ValueError(
+            f"counter width {counter_width_bits} outside 1..{TIME_BITS} bits"
+        )
+    if not (1 <= counter_rate_hz < 1 << 32):
+        raise ValueError(f"counter rate {counter_rate_hz} Hz does not fit in 32 bits")
+    label_bytes = label.encode("utf-8")
+    if len(label_bytes) > 0xFFFF:
+        raise ValueError(f"label is {len(label_bytes)} bytes; the limit is 65535")
+    header_size = V2_FIXED_HEADER_BYTES + len(label_bytes)
+    return (
+        MAGIC_V2
+        + header_size.to_bytes(2, "big")
+        + count.to_bytes(4, "big")
+        + counter_width_bits.to_bytes(1, "big")
+        + counter_rate_hz.to_bytes(4, "big")
+        + (1 if overflowed else 0).to_bytes(1, "big")
+        + crc32.to_bytes(4, "big")
+        + len(label_bytes).to_bytes(2, "big")
+        + label_bytes
+    )
+
+
+def _decode_v2_body(body: bytes) -> CaptureMeta:
+    """Decode the MPF2 header bytes that follow magic + header size."""
+    count = int.from_bytes(body[0:4], "big")
+    width = body[4]
+    rate = int.from_bytes(body[5:9], "big")
+    flags = body[9]
+    crc32 = int.from_bytes(body[10:14], "big")
+    label_len = int.from_bytes(body[14:16], "big")
+    if not (1 <= width <= TIME_BITS):
+        raise ValueError(f"MPF2 header counter width {width} outside 1..{TIME_BITS}")
+    if rate == 0:
+        raise ValueError("MPF2 header counter rate is zero")
+    if 16 + label_len > len(body):
+        raise ValueError(
+            f"MPF2 header label length {label_len} overruns the "
+            f"{len(body) + 6}-byte header"
+        )
+    label = body[16 : 16 + label_len].decode("utf-8", errors="replace")
+    return CaptureMeta(
+        version=2,
+        count=count,
+        counter_width_bits=width,
+        counter_rate_hz=rate,
+        overflowed=bool(flags & 1),
+        label=label,
+        crc32=crc32,
+    )
+
+
+def _read_header(stream: BinaryIO) -> CaptureMeta:
+    """Read and validate either version's header off *stream*."""
+    magic = _read_exact(stream, len(MAGIC))
+    if magic == MAGIC:
+        rest = _read_exact(stream, 4)
+        if len(rest) < 4:
+            raise ValueError("capture file header truncated")
+        return CaptureMeta(version=1, count=int.from_bytes(rest, "big"))
+    if magic == MAGIC_V2:
+        size_blob = _read_exact(stream, 2)
+        if len(size_blob) < 2:
+            raise ValueError("capture file header truncated")
+        header_size = int.from_bytes(size_blob, "big")
+        if header_size < V2_FIXED_HEADER_BYTES:
+            raise ValueError(
+                f"MPF2 header claims {header_size} bytes, below the "
+                f"{V2_FIXED_HEADER_BYTES}-byte minimum"
+            )
+        body = _read_exact(stream, header_size - 6)
+        if len(body) < header_size - 6:
+            raise ValueError("capture file header truncated")
+        return _decode_v2_body(body)
+    raise ValueError("not a Profiler capture file (bad magic)")
+
+
+def _open_context(
+    path_or_file: Union[str, Path, BinaryIO], mode: str
+) -> contextlib.AbstractContextManager:
+    if hasattr(path_or_file, "read" if "r" in mode else "write"):
+        return contextlib.nullcontext(path_or_file)
+    return open(Path(path_or_file), mode)  # type: ignore[arg-type]
+
+
 def iter_capture_file(
     path_or_file: Union[str, Path, BinaryIO],
     *,
     chunk_records: int = DEFAULT_CHUNK_RECORDS,
     verify_count: bool = True,
+    verify_crc: bool = True,
 ) -> Iterator[RawRecord]:
     """Stream the records of a capture file without materialising them.
 
-    Validates the header like :func:`read_capture_file`, then yields
-    records as they are read.  With ``verify_count`` (the default) a
-    mismatch between the header's record count and the stream length
-    raises at end of iteration — late, but without buffering the file.
+    Accepts both MPF1 and MPF2 headers, then yields records as they are
+    read.  With ``verify_count`` (the default) a mismatch between the
+    header's record count and the stream length raises at end of
+    iteration — late, but without buffering the file; ``verify_crc``
+    likewise checks the MPF2 record-stream CRC32 at the end (MPF1 has no
+    checksum to verify).
     """
-    if hasattr(path_or_file, "read"):
-        context: contextlib.AbstractContextManager = contextlib.nullcontext(
-            path_or_file
-        )
-    else:
-        context = open(Path(path_or_file), "rb")  # type: ignore[arg-type]
-    with context as stream:
-        header = stream.read(len(MAGIC) + 4)
-        if len(header) < len(MAGIC) + 4 or header[: len(MAGIC)] != MAGIC:
-            raise ValueError("not a Profiler capture file (bad magic)")
-        count = int.from_bytes(header[len(MAGIC) :], "big")
+    with _open_context(path_or_file, "rb") as stream:
+        meta = _read_header(stream)
+        reader: Union[BinaryIO, _Crc32Tap] = stream
+        check_crc = verify_crc and meta.crc32 is not None
+        if check_crc:
+            reader = _Crc32Tap(stream)
         seen = 0
-        for record in iter_record_stream(stream, chunk_records=chunk_records):
+        for record in iter_record_stream(reader, chunk_records=chunk_records):
             yield record
             seen += 1
-        if verify_count and seen != count:
+        if verify_count and seen != meta.count:
             raise ValueError(
-                f"capture file header claims {count} records but stream holds "
-                f"{seen}"
+                f"capture file header claims {meta.count} records but stream "
+                f"holds {seen}"
+            )
+        if check_crc and reader.crc32 != meta.crc32:  # type: ignore[union-attr]
+            raise ValueError(
+                f"record stream CRC32 {reader.crc32:#010x} disagrees with "  # type: ignore[union-attr]
+                f"the header's {meta.crc32:#010x}: the payload is corrupt"
             )
 
 
 def write_capture_stream(
-    path_or_file: Union[str, Path, BinaryIO], records: Iterable[RawRecord]
+    path_or_file: Union[str, Path, BinaryIO],
+    records: Iterable[RawRecord],
+    *,
+    version: int = 2,
+    counter_width_bits: int = STOCK_WIDTH_BITS,
+    counter_rate_hz: int = STOCK_RATE_HZ,
+    overflowed: bool = False,
+    label: str = "",
 ) -> int:
     """Write a capture file from a record *iterator* of unknown length.
 
     Streams records straight to the file and backpatches the header's
-    record count at the end, so captures far larger than memory can be
-    serialised.  Requires a seekable target.  Returns the record count.
+    record count (and, for MPF2, the CRC32) at the end, so captures far
+    larger than memory can be serialised.  The target must be seekable —
+    a non-seekable target is rejected up front, before any bytes are
+    written.  Returns the record count.
     """
+    if version not in (1, 2):
+        raise ValueError(f"unknown capture format version {version}")
     if hasattr(path_or_file, "write"):
-        context: contextlib.AbstractContextManager = contextlib.nullcontext(
-            path_or_file
-        )
-    else:
-        context = open(Path(path_or_file), "wb")  # type: ignore[arg-type]
-    with context as stream:
-        stream.write(MAGIC + b"\x00\x00\x00\x00")
+        seekable = getattr(path_or_file, "seekable", None)
+        if seekable is None or not path_or_file.seekable():  # type: ignore[union-attr]
+            raise ValueError(
+                "write_capture_stream needs a seekable target to backpatch "
+                "the header's record count; pipe/socket targets cannot seek "
+                "— buffer to a temporary file or use write_capture_file"
+            )
+    with _open_context(path_or_file, "wb") as stream:
+        base = stream.tell()
+        if version == 1:
+            _warn_v1_metadata_loss(
+                counter_width_bits, counter_rate_hz, overflowed, label
+            )
+            stream.write(MAGIC + b"\x00\x00\x00\x00")
+        else:
+            stream.write(
+                _encode_v2_header(
+                    0, counter_width_bits, counter_rate_hz, overflowed, label, 0
+                )
+            )
         count = 0
+        crc = 0
         buffer = bytearray()
         for record in records:
+            _check_count(count + 1)
             buffer += record.pack()
             count += 1
             if len(buffer) >= DEFAULT_CHUNK_RECORDS * RECORD_BYTES:
+                crc = zlib.crc32(buffer, crc)
                 stream.write(bytes(buffer))
                 buffer.clear()
         if buffer:
+            crc = zlib.crc32(buffer, crc)
             stream.write(bytes(buffer))
-        stream.seek(len(MAGIC))
-        stream.write(count.to_bytes(4, "big"))
+        end = stream.tell()
+        if version == 1:
+            stream.seek(base + len(MAGIC))
+            stream.write(count.to_bytes(4, "big"))
+        else:
+            stream.seek(base + _V2_COUNT_OFFSET)
+            stream.write(count.to_bytes(4, "big"))
+            stream.seek(base + _V2_CRC_OFFSET)
+            stream.write(crc.to_bytes(4, "big"))
+        stream.seek(end)
     return count
 
 
-def write_capture_file(
-    path_or_file: Union[str, Path, BinaryIO], records: Sequence[RawRecord]
-) -> int:
-    """Write a capture file (magic + record count + record stream).
+def _warn_v1_metadata_loss(
+    counter_width_bits: int, counter_rate_hz: int, overflowed: bool, label: str
+) -> None:
+    if (counter_width_bits, counter_rate_hz, overflowed, label) != (
+        STOCK_WIDTH_BITS,
+        STOCK_RATE_HZ,
+        False,
+        "",
+    ):
+        warnings.warn(
+            "MPF1 cannot carry capture metadata: counter width/rate, the "
+            "overflow flag and the label are dropped — write version=2 to "
+            "keep them",
+            CaptureMetadataWarning,
+            stacklevel=3,
+        )
 
-    Returns the number of records written.
+
+def write_capture_file(
+    path_or_file: Union[str, Path, BinaryIO],
+    records: Sequence[RawRecord],
+    *,
+    version: int = 2,
+    counter_width_bits: int = STOCK_WIDTH_BITS,
+    counter_rate_hz: int = STOCK_RATE_HZ,
+    overflowed: bool = False,
+    label: str = "",
+) -> int:
+    """Write a capture file (header + record stream).
+
+    MPF2 by default; ``version=1`` writes the legacy header byte-for-byte
+    (and warns if that drops non-stock metadata).  Returns the number of
+    records written.
     """
-    payload = MAGIC + len(records).to_bytes(4, "big") + dump_records(records)
-    if hasattr(path_or_file, "write"):
-        path_or_file.write(payload)  # type: ignore[union-attr]
+    count = len(records)
+    _check_count(count)
+    payload = dump_records(records)
+    if version == 1:
+        _warn_v1_metadata_loss(counter_width_bits, counter_rate_hz, overflowed, label)
+        header = MAGIC + count.to_bytes(4, "big")
+    elif version == 2:
+        header = _encode_v2_header(
+            count,
+            counter_width_bits,
+            counter_rate_hz,
+            overflowed,
+            label,
+            zlib.crc32(payload),
+        )
     else:
-        Path(path_or_file).write_bytes(payload)  # type: ignore[arg-type]
-    return len(records)
+        raise ValueError(f"unknown capture format version {version}")
+    blob = header + payload
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(blob)  # type: ignore[union-attr]
+    else:
+        Path(path_or_file).write_bytes(blob)  # type: ignore[arg-type]
+    return count
+
+
+def read_capture(
+    path_or_file: Union[str, Path, BinaryIO]
+) -> tuple[list[RawRecord], CaptureMeta]:
+    """Read a capture file of either version: records plus header metadata.
+
+    Strict: a bad magic, truncated header, count mismatch or (MPF2) CRC
+    mismatch raises :class:`ValueError`.  Use
+    :func:`salvage_capture_stream` when the file may be damaged.
+    """
+    with _open_context(path_or_file, "rb") as stream:
+        meta = _read_header(stream)
+        payload = _read_exact_to_eof(stream)
+    records = load_records(payload)
+    if len(records) != meta.count:
+        raise ValueError(
+            f"capture file header claims {meta.count} records but stream holds "
+            f"{len(records)}"
+        )
+    if meta.crc32 is not None:
+        actual = zlib.crc32(payload)
+        if actual != meta.crc32:
+            raise ValueError(
+                f"record stream CRC32 {actual:#010x} disagrees with the "
+                f"header's {meta.crc32:#010x}: the payload is corrupt"
+            )
+    return records, meta
+
+
+def _read_exact_to_eof(stream: BinaryIO) -> bytes:
+    """Drain *stream*, tolerating short reads the way :func:`_read_exact` does."""
+    chunks: list[bytes] = []
+    while True:
+        blob = stream.read(1 << 20)
+        if not blob:
+            return b"".join(chunks)
+        chunks.append(blob)
 
 
 def read_capture_file(path_or_file: Union[str, Path, BinaryIO]) -> list[RawRecord]:
-    """Read a capture file written by :func:`write_capture_file`."""
+    """Read a capture file written by :func:`write_capture_file` (either
+    version), returning the records only."""
+    return read_capture(path_or_file)[0]
+
+
+# -- the salvaging decoder ---------------------------------------------------
+
+
+def _fuzzy_version(blob: bytes) -> Optional[int]:
+    """Best-effort version from a damaged magic: >= 3 of 4 bytes agree.
+
+    A flip in the version byte itself (``b"MPF?"``) matches both magics
+    equally, so ties are broken by framing plausibility: the version
+    whose header makes the record stream come out whole wins.
+    """
+    magic = blob[: len(MAGIC)]
+    candidates = [
+        version
+        for candidate, version in ((MAGIC_V2, 2), (MAGIC, 1))
+        if sum(a == b for a, b in zip(magic, candidate)) >= 3
+    ]
+    if len(candidates) != 1:
+        for version in candidates:
+            if version == 1 and len(blob) >= V1_HEADER_BYTES:
+                count = int.from_bytes(blob[4:8], "big")
+                if count * RECORD_BYTES == len(blob) - V1_HEADER_BYTES:
+                    return 1
+            if version == 2 and len(blob) >= V2_FIXED_HEADER_BYTES:
+                header_size = int.from_bytes(blob[4:6], "big")
+                count = int.from_bytes(blob[6:10], "big")
+                if (
+                    V2_FIXED_HEADER_BYTES <= header_size <= len(blob)
+                    and count * RECORD_BYTES == len(blob) - header_size
+                ):
+                    return 2
+    return candidates[0] if candidates else None
+
+
+def salvage_capture_bytes(blob: bytes) -> SalvageResult:
+    """Decode a possibly damaged capture image, resynchronising on faults.
+
+    Never raises on content: every fault becomes a :class:`CaptureDefect`
+    and decoding continues with the most plausible interpretation.  A
+    single flipped magic bit, a truncated tail, a lying record count or a
+    corrupt payload all still yield every recoverable record.
+    """
+    defects: list[CaptureDefect] = []
+    n = len(blob)
+    if n < len(MAGIC):
+        defects.append(
+            CaptureDefect(
+                "truncated-header",
+                f"file is {n} byte(s), shorter than any capture magic",
+                offset=0,
+            )
+        )
+        return SalvageResult([], defects, CaptureMeta(version=0, count=0))
+
+    magic = blob[: len(MAGIC)]
+    if magic == MAGIC:
+        version = 1
+    elif magic == MAGIC_V2:
+        version = 2
+    else:
+        guessed = _fuzzy_version(blob)
+        if guessed is None:
+            defects.append(
+                CaptureDefect(
+                    "bad-magic",
+                    f"magic {magic!r} matches no known capture format",
+                    offset=0,
+                )
+            )
+            return SalvageResult([], defects, CaptureMeta(version=0, count=0))
+        version = guessed
+        defects.append(
+            CaptureDefect(
+                "bad-magic",
+                f"magic {magic!r} is corrupt; resynchronised as MPF{version}",
+                offset=0,
+            )
+        )
+
+    if version == 1:
+        meta, data_offset = _salvage_v1_header(blob, defects)
+    else:
+        meta, data_offset = _salvage_v2_header(blob, defects)
+    if meta is None:
+        return SalvageResult([], defects, CaptureMeta(version=version, count=0))
+
+    payload = blob[data_offset:]
+    remainder = len(payload) % RECORD_BYTES
+    if remainder:
+        defects.append(
+            CaptureDefect(
+                "partial-record",
+                f"{remainder} trailing byte(s) are not a whole record; dropped",
+                offset=data_offset + len(payload) - remainder,
+            )
+        )
+        payload = payload[: len(payload) - remainder]
+    records = load_records(payload)
+
+    if len(records) != meta.count:
+        defects.append(
+            CaptureDefect(
+                "count-mismatch",
+                f"header claims {meta.count} records but the stream holds "
+                f"{len(records)}",
+                offset=len(MAGIC),
+            )
+        )
+    elif meta.crc32 is not None and not remainder:
+        # Count and framing agree, so a CRC mismatch isolates payload
+        # corruption (a truncated stream would mismatch trivially).
+        actual = zlib.crc32(payload)
+        if actual != meta.crc32:
+            defects.append(
+                CaptureDefect(
+                    "crc-mismatch",
+                    f"record stream CRC32 {actual:#010x} disagrees with the "
+                    f"header's {meta.crc32:#010x}: at least one record byte "
+                    "is corrupt",
+                    offset=data_offset,
+                )
+            )
+    meta = dataclasses.replace(meta, count=len(records))
+    return SalvageResult(records, defects, meta)
+
+
+def _salvage_v1_header(
+    blob: bytes, defects: list[CaptureDefect]
+) -> tuple[Optional[CaptureMeta], int]:
+    if len(blob) < V1_HEADER_BYTES:
+        defects.append(
+            CaptureDefect(
+                "truncated-header",
+                f"MPF1 header needs {V1_HEADER_BYTES} bytes, file holds "
+                f"{len(blob)}",
+                offset=len(blob),
+            )
+        )
+        return None, 0
+    count = int.from_bytes(blob[4:V1_HEADER_BYTES], "big")
+    return CaptureMeta(version=1, count=count), V1_HEADER_BYTES
+
+
+def _salvage_v2_header(
+    blob: bytes, defects: list[CaptureDefect]
+) -> tuple[Optional[CaptureMeta], int]:
+    if len(blob) < V2_FIXED_HEADER_BYTES:
+        defects.append(
+            CaptureDefect(
+                "truncated-header",
+                f"MPF2 header needs at least {V2_FIXED_HEADER_BYTES} bytes, "
+                f"file holds {len(blob)}",
+                offset=len(blob),
+            )
+        )
+        return None, 0
+    header_size = int.from_bytes(blob[4:6], "big")
+    clamped = False
+    if header_size < V2_FIXED_HEADER_BYTES:
+        defects.append(
+            CaptureDefect(
+                "bad-header-field",
+                f"header size {header_size} is below the "
+                f"{V2_FIXED_HEADER_BYTES}-byte minimum; assuming a label-less "
+                "header",
+                offset=4,
+            )
+        )
+        header_size = V2_FIXED_HEADER_BYTES
+        clamped = True
+    if header_size > len(blob):
+        defects.append(
+            CaptureDefect(
+                "truncated-header",
+                f"header claims {header_size} bytes but the file holds "
+                f"{len(blob)}; treating everything past the fixed header as "
+                "records",
+                offset=len(blob),
+            )
+        )
+        header_size = V2_FIXED_HEADER_BYTES
+        clamped = True
+    count = int.from_bytes(blob[6:10], "big")
+    width = blob[10]
+    rate = int.from_bytes(blob[11:15], "big")
+    flags = blob[15]
+    crc32 = int.from_bytes(blob[16:20], "big")
+    label_len = int.from_bytes(blob[20:22], "big")
+    if not (1 <= width <= TIME_BITS):
+        defects.append(
+            CaptureDefect(
+                "bad-header-field",
+                f"counter width {width} outside 1..{TIME_BITS} bits; assuming "
+                f"the stock {STOCK_WIDTH_BITS}",
+                offset=10,
+            )
+        )
+        width = STOCK_WIDTH_BITS
+    if rate == 0:
+        defects.append(
+            CaptureDefect(
+                "bad-header-field",
+                f"counter rate is zero; assuming the stock {STOCK_RATE_HZ} Hz",
+                offset=11,
+            )
+        )
+        rate = STOCK_RATE_HZ
+    if not clamped and V2_FIXED_HEADER_BYTES + label_len != header_size:
+        defects.append(
+            CaptureDefect(
+                "bad-header-field",
+                f"label length {label_len} disagrees with header size "
+                f"{header_size}; trusting the header size",
+                offset=20,
+            )
+        )
+    label = blob[V2_FIXED_HEADER_BYTES:header_size].decode("utf-8", errors="replace")
+    meta = CaptureMeta(
+        version=2,
+        count=count,
+        counter_width_bits=width,
+        counter_rate_hz=rate,
+        overflowed=bool(flags & 1),
+        label=label,
+        crc32=crc32,
+    )
+    return meta, header_size
+
+
+def salvage_capture(path_or_file: Union[str, Path, BinaryIO]) -> SalvageResult:
+    """Salvage a capture from a path or open stream (full result)."""
     if hasattr(path_or_file, "read"):
-        blob = path_or_file.read()  # type: ignore[union-attr]
+        blob = _read_exact_to_eof(path_or_file)  # type: ignore[arg-type]
     else:
         blob = Path(path_or_file).read_bytes()  # type: ignore[arg-type]
-    if len(blob) < len(MAGIC) + 4 or blob[: len(MAGIC)] != MAGIC:
-        raise ValueError("not a Profiler capture file (bad magic)")
-    count = int.from_bytes(blob[len(MAGIC) : len(MAGIC) + 4], "big")
-    records = load_records(blob[len(MAGIC) + 4 :])
-    if len(records) != count:
-        raise ValueError(
-            f"capture file header claims {count} records but stream holds "
-            f"{len(records)}"
-        )
-    return records
+    return salvage_capture_bytes(blob)
+
+
+def salvage_capture_stream(
+    path_or_file: Union[str, Path, BinaryIO]
+) -> tuple[list[RawRecord], list[CaptureDefect]]:
+    """Fault-tolerant read: ``(recovered records, defects tolerated)``.
+
+    The forgiving twin of :func:`read_capture`: a partial trailing
+    record, a lying header count, a corrupt CRC or a flipped magic bit
+    each produce a :class:`CaptureDefect` instead of an exception, and
+    every record that survived intact is returned.
+    """
+    result = salvage_capture(path_or_file)
+    return result.records, result.defects
 
 
 class EpromReadback:

@@ -111,10 +111,23 @@ def test_sharded_matches_figure5_golden(forkexec_capture):
 # goldens are pinned to the one import sequence that is reproducible
 # anywhere: a fresh `python -m repro capture` subprocess.  Regenerate
 # with REGEN_GOLDEN=1 like the text goldens.
+#
+# Two generations are checked in.  The *_v2 files are what today's CLI
+# writes (MPF2) and must regenerate byte-identically.  figure3_network.mpf
+# and figure5_forkexec.mpf are FROZEN MPF1 files from before the format
+# gained a self-describing header: they are never regenerated — their
+# whole point is proving that old captures keep decoding, byte for byte,
+# to the same records and golden summaries.
 
 CAPTURE_RECIPES = {
-    "figure3_network.mpf": ["--workload", "network", "--packets", "6"],
-    "figure5_forkexec.mpf": ["--workload", "forkexec", "--packets", "15"],
+    "figure3_network_v2.mpf": ["--workload", "network", "--packets", "6"],
+    "figure5_forkexec_v2.mpf": ["--workload", "forkexec", "--packets", "15"],
+}
+
+#: legacy MPF1 fixture -> the MPF2 golden holding the same records.
+LEGACY_CAPTURES = {
+    "figure3_network.mpf": "figure3_network_v2.mpf",
+    "figure5_forkexec.mpf": "figure5_forkexec_v2.mpf",
 }
 
 
@@ -135,7 +148,7 @@ def test_capture_bytes_golden(name, args, tmp_path):
     """The raw .mpf bytes `python -m repro lint` gates on in CI must
     regenerate byte-identically from a fresh process."""
     golden = GOLDEN_DIR / name
-    names_out = tmp_path / "fresh.tags" if name == "figure3_network.mpf" else None
+    names_out = tmp_path / "fresh.tags" if name == "figure3_network_v2.mpf" else None
     if os.environ.get("REGEN_GOLDEN"):
         GOLDEN_DIR.mkdir(exist_ok=True)
         _cli_capture(args, golden, names=GOLDEN_DIR / "case_study.tags"
@@ -159,7 +172,7 @@ def test_capture_bytes_golden(name, args, tmp_path):
 
 def test_golden_capture_decodes_to_golden_summary():
     """Cross-check the binary goldens against the text goldens: loading
-    figure3_network.mpf with case_study.tags must reproduce the exact
+    figure3_network_v2.mpf with case_study.tags must reproduce the exact
     Figure 3 summary text.  This ties the .mpf/.tags pair to the same
     truth the report tests assert, whatever tag values they contain."""
     if os.environ.get("REGEN_GOLDEN"):
@@ -168,8 +181,45 @@ def test_golden_capture_decodes_to_golden_summary():
     from repro.profiler.capture import Capture
 
     names = NameTable.read(GOLDEN_DIR / "case_study.tags")
-    capture = Capture.load(GOLDEN_DIR / "figure3_network.mpf", names)
+    capture = Capture.load(GOLDEN_DIR / "figure3_network_v2.mpf", names)
     from repro.analysis.callstack import analyze_capture
 
     text = summarize(analyze_capture(capture)).format(limit=20) + "\n"
     assert text == (GOLDEN_DIR / "figure3_network_summary.txt").read_text()
+
+
+# -- MPF1 backward compatibility over the frozen legacy goldens --------------
+
+
+@pytest.mark.parametrize("legacy,v2", sorted(LEGACY_CAPTURES.items()))
+def test_legacy_mpf1_golden_decodes_identically(legacy, v2):
+    """A pre-MPF2 capture must decode to exactly the records its MPF2
+    sibling carries — byte-identical interchange across the format bump
+    (the legacy files are frozen, never regenerated)."""
+    if os.environ.get("REGEN_GOLDEN"):
+        pytest.skip("regenerating")
+    from repro.profiler.upload import read_capture
+
+    old_records, old_meta = read_capture(GOLDEN_DIR / legacy)
+    new_records, new_meta = read_capture(GOLDEN_DIR / v2)
+    assert old_meta.version == 1 and new_meta.version == 2
+    assert old_records == new_records
+
+
+def test_legacy_mpf1_golden_still_summarizes(recwarn):
+    """The frozen MPF1 figure5 capture must still produce the golden
+    Figure 5 summary (metadata defaults to stock, with a warning)."""
+    if os.environ.get("REGEN_GOLDEN"):
+        pytest.skip("regenerating")
+    from repro.analysis.callstack import analyze_capture
+    from repro.instrument.namefile import NameTable
+    from repro.profiler.capture import Capture
+    from repro.profiler.upload import CaptureMetadataWarning
+
+    names = NameTable.read(GOLDEN_DIR / "case_study.tags")
+    capture = Capture.load(GOLDEN_DIR / "figure5_forkexec.mpf", names)
+    assert any(
+        isinstance(w.message, CaptureMetadataWarning) for w in recwarn.list
+    )
+    text = summarize(analyze_capture(capture)).format(limit=20) + "\n"
+    assert text == (GOLDEN_DIR / "figure5_forkexec_summary.txt").read_text()

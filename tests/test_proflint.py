@@ -460,7 +460,9 @@ class TestReporting:
         assert set(CODE_TABLE) == {
             f"P{n:03d}" for n in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
         } | {f"P{n}" for n in (101, 102, 103, 104)} | {
-            f"P{n}" for n in (200, 201, 202, 203, 204, 205, 206, 207)
+            f"P{n}"
+            for n in (200, 201, 202, 203, 204, 205, 206, 207,
+                      208, 209, 210, 211, 212, 213)
         } | {f"P{n}" for n in (301, 302, 303, 304, 305, 306)}
 
     def test_text_format_is_compiler_style(self):
