@@ -1,0 +1,138 @@
+"""TELEMETRY — the disabled-overhead gate for the self-telemetry probes.
+
+The telemetry layer's contract is that its probes stay *compiled in*: no
+build flag strips them, so a disabled profiler must pay essentially
+nothing.  Two design rules make that hold on the capture hot path:
+
+* the trigger path (``kernel.enter``/``leave`` -> ``eprom_strobe``)
+  carries **zero** probes — board, kernel and engine statistics are read
+  out once, at capture-session exit (boundary sampling);
+* every other probe starts with one attribute check
+  (``if not self.enabled: return``) and hot loops hoist that check to
+  once per chunk.
+
+Measured here, reusing the PR 2 trigger storm
+(:func:`bench_capture_hotpath.run_storm`):
+
+* interleaved disabled/enabled storm runs (best-of-3 each), asserting
+  the enabled-vs-disabled throughput delta stays inside the gate —
+  the capture hot path must not slow down even with telemetry *on*;
+* byte-identity of the disabled-telemetry capture against the PR 2
+  golden hash (``tests/golden/capture_hotpath.sha256``): the baseline
+  simulation is provably unchanged by the telemetry layer's existence;
+* the per-call cost of a disabled probe (reported, not asserted): what
+  one ``count()``/``span()`` costs when nobody is listening.
+
+Environment knobs (the CI smoke job uses both)::
+
+    REPRO_HOTPATH_PAIRS           enter/leave pairs per storm (default 250000)
+    REPRO_TELEM_MAX_OVERHEAD_PCT  gate on enabled-vs-disabled delta (default 2.0)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+from paperbench import once
+
+from bench_capture_hotpath import GOLDEN_HASH_PATH, run_storm, storm_pairs
+from repro.telemetry import TELEMETRY
+
+
+def max_overhead_pct() -> float:
+    return float(os.environ.get("REPRO_TELEM_MAX_OVERHEAD_PCT", 2.0))
+
+
+def _storm_disabled(pairs: int) -> dict:
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    return run_storm("optimized", pairs)
+
+
+def _storm_enabled(pairs: int) -> dict:
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    try:
+        return run_storm("optimized", pairs)
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+
+def test_disabled_telemetry_overhead_gate(benchmark, comparison):
+    pairs = storm_pairs()
+    gate = max_overhead_pct()
+
+    def run_interleaved():
+        disabled_runs: list[dict] = []
+        enabled_runs: list[dict] = []
+        # Interleave the variants so clock drift and thermal throttling
+        # hit both sides equally; best-of-3 discards warmup noise.
+        for _ in range(3):
+            disabled_runs.append(_storm_disabled(pairs))
+            enabled_runs.append(_storm_enabled(pairs))
+        return disabled_runs, enabled_runs
+
+    disabled_runs, enabled_runs = once(benchmark, run_interleaved)
+    best_disabled = max(r["triggers_per_s"] for r in disabled_runs)
+    best_enabled = max(r["triggers_per_s"] for r in enabled_runs)
+    overhead_pct = 100.0 * (best_disabled - best_enabled) / best_disabled
+
+    comparison.row("storm trigger events", "1M-class", f"{disabled_runs[0]['triggers']:,}")
+    comparison.row(
+        "disabled triggers/sec", "(the shipped default)", f"{best_disabled:,.0f}"
+    )
+    comparison.row(
+        "enabled triggers/sec", "(boundary sampling)", f"{best_enabled:,.0f}"
+    )
+    comparison.row("enabled overhead", f"<= {gate:.1f}%", f"{overhead_pct:+.2f}%")
+
+    # The simulation must be identical in all three states: telemetry
+    # absent (the PR 2 golden), disabled, and enabled.
+    golden = GOLDEN_HASH_PATH.read_text().strip()
+    for runs, variant in ((disabled_runs, "disabled"), (enabled_runs, "enabled")):
+        digest = hashlib.sha256(runs[0]["stream"]).hexdigest()
+        assert digest == golden, (
+            f"{variant}-telemetry capture drifted from the PR 2 golden "
+            "hash: the telemetry layer changed the simulation"
+        )
+
+    assert overhead_pct <= gate, (
+        f"telemetry overhead on the capture hot path is {overhead_pct:.2f}% "
+        f"(gate {gate:.1f}%): enabled {best_enabled:,.0f}/s vs "
+        f"disabled {best_disabled:,.0f}/s"
+    )
+
+
+def test_disabled_probe_cost_per_call(benchmark, comparison):
+    """Report what one disabled probe costs — the price of keeping the
+    instrumentation compiled in.  Not asserted: absolute nanoseconds are
+    machine property, the gate above is the contract."""
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    calls = 200_000
+
+    def cost(fn) -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        return (time.perf_counter() - start) / calls * 1e9
+
+    def measure():
+        return (
+            cost(lambda: TELEMETRY.count("bench.counter")),
+            cost(lambda: TELEMETRY.set_gauge("bench.gauge", 1.0)),
+            cost(lambda: TELEMETRY.span("bench.span").close()),
+            cost(lambda: None),
+        )
+
+    count_ns, gauge_ns, span_ns, floor_ns = once(benchmark, measure)
+    comparison.row("disabled count()", "(report only)", f"{count_ns:,.0f} ns/call")
+    comparison.row("disabled set_gauge()", "(report only)", f"{gauge_ns:,.0f} ns/call")
+    comparison.row("disabled span().close()", "(report only)", f"{span_ns:,.0f} ns/call")
+    comparison.row("empty lambda floor", "(report only)", f"{floor_ns:,.0f} ns/call")
+    # Disabled probes record nothing at all.
+    assert TELEMETRY.samples() == []
+    assert list(TELEMETRY.spans()) == []

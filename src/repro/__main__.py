@@ -8,7 +8,11 @@ Usage examples::
     python -m repro analyze run.mpf --names run.tags --report trace
     python -m repro analyze run.mpf --names run.tags --strict
     python -m repro analyze damaged.mpf --names run.tags --salvage
+    python -m repro analyze big.mpf --names run.tags --stream --progress
+    python -m repro analyze big.mpf --names run.tags --shards 4 \
+        --telemetry run.pipeline.jsonl
     python -m repro capture doctor damaged.mpf -o repaired.mpf
+    python -m repro trace export run.mpf --names run.tags -o run.trace.json
     python -m repro lint run.mpf --names run.tags --json
     python -m repro lint --kernel-ast
     python -m repro workloads
@@ -16,12 +20,21 @@ Usage examples::
 The capture command is the whole paper in one invocation: build the rig,
 arm the board, run the chosen workload, pull the RAMs, and print the
 requested report(s).
+
+Observability: ``--telemetry PATH`` on capture/analyze enables the
+self-telemetry singleton for the run and writes the snapshot to PATH on
+the way out (format inferred from the extension); ``--progress`` adds a
+records/sec + ETA heartbeat on stderr for long ``--stream``/``--shards``
+runs.  Neither writes a byte to stdout, so report output is identical
+with or without them.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.callstack import analyze_capture
@@ -44,10 +57,12 @@ from repro.profiler.capture import Capture
 from repro.profiler.ram import DEFAULT_DEPTH
 from repro.profiler.upload import (
     iter_capture_file,
+    read_capture_meta,
     salvage_capture,
     write_capture_file,
 )
 from repro.system import build_case_study
+from repro.telemetry import TELEMETRY, ProgressReporter
 
 WORKLOADS: dict[str, str] = {
     "network": "TCP receive test (Figures 3/4): the SPARC sender saturates the PC",
@@ -177,16 +192,76 @@ def _check_pipeline_flags(args: argparse.Namespace) -> None:
         )
 
 
+def _telemetry_begin(args: argparse.Namespace) -> None:
+    """Enable the telemetry singleton for this run (``--telemetry PATH``).
+
+    The output format is validated *before* the run, so a typo'd
+    extension fails in milliseconds instead of after a long analysis.
+    """
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return
+    from repro.telemetry.export import infer_format
+
+    try:
+        infer_format(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+
+
+def _telemetry_end(args: argparse.Namespace) -> None:
+    """Write the telemetry snapshot and disable the singleton again.
+
+    The confirmation line goes to stderr: report bytes on stdout must be
+    identical with and without ``--telemetry``.
+    """
+    path = getattr(args, "telemetry", None)
+    if not path:
+        return
+    from repro.telemetry.export import write_telemetry
+
+    try:
+        fmt = write_telemetry(path, TELEMETRY)
+    finally:
+        TELEMETRY.disable()
+    print(f"telemetry ({fmt}) written to {path}", file=sys.stderr)
+
+
+def _make_progress(
+    args: argparse.Namespace, total: Optional[int], label: str
+) -> ProgressReporter:
+    """A heartbeat honouring ``--progress`` / ``--progress=force``."""
+    mode = getattr(args, "progress", "off") or "off"
+    return ProgressReporter(total, label=label, mode=mode)
+
+
+def _stream_total(path) -> Optional[int]:
+    """Best-effort record count from the capture header (for the ETA).
+
+    Unreadable or damaged headers return ``None`` — the streaming reader
+    itself will raise the real, well-worded error moments later.
+    """
+    try:
+        return read_capture_meta(path).count or None
+    except (OSError, ValueError):
+        return None
+
+
 def _print_sharded_summary(
     capture: Capture, args: argparse.Namespace, out: Callable
 ) -> None:
+    progress = _make_progress(args, len(capture.records), label="shards")
     result = analyze_sharded(
         capture.records,
         capture.names,
         max_shard_events=args.shard_events,
         workers=args.shards,
         width_bits=capture.counter_width_bits,
+        progress=progress.update,
     )
+    progress.finish()
     out(
         f"sharded analysis: {result.shard_count} shard(s) of <= "
         f"{args.shard_events} events on {result.workers} worker(s)"
@@ -197,6 +272,14 @@ def _print_sharded_summary(
 
 def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
     _check_pipeline_flags(args)
+    _telemetry_begin(args)
+    try:
+        return _cmd_capture(args, out)
+    finally:
+        _telemetry_end(args)
+
+
+def _cmd_capture(args: argparse.Namespace, out: Callable) -> int:
     modules = args.modules.split(",") if args.modules else None
     system = build_case_study(profiled_modules=modules)
     out(
@@ -219,7 +302,10 @@ def cmd_capture(args: argparse.Namespace, out: Callable) -> int:
         out(f"name/tag file written to {args.names}")
     desyncs = system.kernel.stats.get("kstack_desync", 0)
     if args.stream:
-        out(summarize_records(iter(capture.records), capture.names).format(
+        progress = _make_progress(args, len(capture.records), label="stream")
+        out(summarize_records(
+            progress.wrap(iter(capture.records)), capture.names
+        ).format(
             limit=args.summary_limit
         ))
         out(_desync_footer(desyncs))
@@ -253,6 +339,14 @@ def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
             "--stream cannot salvage: resynchronisation needs the whole "
             "file; drop one of the flags"
         )
+    _telemetry_begin(args)
+    try:
+        return _cmd_analyze(args, out)
+    finally:
+        _telemetry_end(args)
+
+
+def _cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
     names = NameTable.read(*args.names)
     if args.strict:
         lint_report = lint_capture_file(args.capture, names)
@@ -267,7 +361,10 @@ def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
     if args.stream:
         # Never materialise the capture: decode and summarise straight off
         # the file in O(chunk) memory.
-        summary = summarize_records(iter_capture_file(args.capture), names)
+        progress = _make_progress(args, _stream_total(args.capture), label="stream")
+        summary = summarize_records(
+            progress.wrap(iter_capture_file(args.capture)), names
+        )
         out(f"streamed {summary.event_count} events from {args.capture}")
         out(summary.format(limit=args.summary_limit))
         out("")
@@ -346,10 +443,65 @@ def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
     return report.exit_code
 
 
+def cmd_trace_export(args: argparse.Namespace, out: Callable) -> int:
+    """``repro trace export``: a capture as Chrome ``trace_event`` JSON.
+
+    The paper's Figure 4 code-path trace in a form Perfetto and
+    ``chrome://tracing`` open directly: one process track per
+    reconstructed process (the ``swtch()`` split), interrupt frames on a
+    dedicated track, inline marks as instant events.
+    """
+    from repro.telemetry.export import capture_to_chrome_trace
+
+    names = NameTable.read(*args.names)
+    capture = Capture.load(
+        args.capture, names, label=f"cli: {args.capture}", salvage=args.salvage
+    )
+    analysis = analyze_capture(capture)
+    interrupt_names = (
+        frozenset(
+            name.strip() for name in args.interrupt_frames.split(",") if name.strip()
+        )
+        if args.interrupt_frames
+        else None
+    )
+    document = capture_to_chrome_trace(
+        analysis, interrupt_names=interrupt_names, label=f"cli: {args.capture}"
+    )
+    output = args.output or str(Path(args.capture).with_suffix(".trace.json"))
+    Path(output).write_text(json.dumps(document, indent=1))
+    if args.salvage:
+        _defect_footer(capture, args.capture, out)
+    out(
+        f"chrome trace written to {output}: "
+        f"{len(document['traceEvents'])} event(s), "
+        f"{len(analysis.procs)} process track(s), "
+        f"{analysis.wall_us} us of simulated time"
+    )
+    return 0
+
+
 def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
     for name, description in WORKLOADS.items():
         out(f"  {name:<12} {description}")
     return 0
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="enable self-telemetry for the run and write the snapshot "
+        "here on exit; format inferred from the extension "
+        "(.jsonl/.ndjson JSON lines, .prom/.txt Prometheus, "
+        ".json/.trace Chrome trace_event)",
+    )
+    parser.add_argument(
+        "--progress", nargs="?", const="auto", default="off",
+        choices=("auto", "force", "off"), metavar="MODE",
+        help="records/sec + ETA heartbeat on stderr for long "
+        "--stream/--shards runs; bare --progress is active only when "
+        "stderr is a TTY, --progress=force always emits",
+    )
 
 
 def _add_pipeline_flags(parser: argparse.ArgumentParser) -> None:
@@ -395,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     capture.add_argument("--save", default=None, help="write raw records here")
     capture.add_argument("--names", default=None, help="write the name/tag file here")
     _add_pipeline_flags(capture)
+    _add_telemetry_flags(capture)
     capture.set_defaults(func=cmd_capture)
 
     capture_sub = capture.add_subparsers(dest="capture_command")
@@ -436,7 +589,42 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of refusing",
     )
     _add_pipeline_flags(analyze)
+    _add_telemetry_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    trace = sub.add_parser(
+        "trace", help="export capture traces for external viewers"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="render a capture as Chrome trace_event JSON (Perfetto)",
+        description="Render a saved capture as a Chrome trace_event "
+        "document: one process track per reconstructed process (the "
+        "swtch() split), interrupt frames on a dedicated track, inline "
+        "marks as instant events.  Open the output in "
+        "https://ui.perfetto.dev or chrome://tracing.",
+    )
+    trace_export.add_argument("capture", help="capture file (from capture --save)")
+    trace_export.add_argument(
+        "--names", action="append", required=True,
+        help="name/tag file(s) to decode with (repeatable, concatenated)",
+    )
+    trace_export.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="where to write the trace JSON (default: the capture path "
+        "with a .trace.json suffix)",
+    )
+    trace_export.add_argument(
+        "--interrupt-frames", default=None, metavar="NAMES",
+        help="comma-separated frame names routed to the interrupts track "
+        "(default: ISAINTR, the case-study dispatcher)",
+    )
+    trace_export.add_argument(
+        "--salvage", action="store_true",
+        help="decode fault-tolerantly and list tolerated defects",
+    )
+    trace_export.set_defaults(func=cmd_trace_export)
 
     lint = sub.add_parser(
         "lint",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
-from typing import Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence
 
 from repro.analysis.callstack import Anomaly
 from repro.analysis.summary import (
@@ -36,6 +37,7 @@ from repro.analysis.summary import (
 from repro.instrument.namefile import NameTable
 from repro.profiler.capture import Capture
 from repro.profiler.ram import RawRecord
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 #: Stock board depth — the natural shard size for back-to-back captures.
 DEFAULT_SHARD_EVENTS = 16384
@@ -237,14 +239,15 @@ def _analyze_shard(
     plan: ShardPlan,
     width_bits: int,
 ) -> SummaryAccumulator:
-    accumulator = SummaryAccumulator(
-        names,
-        width_bits=width_bits,
-        start_index=plan.start,
-        time_base_us=plan.time_base_us,
-    )
-    accumulator.feed_records(records[plan.start : plan.stop])
-    return accumulator.close()
+    with _TELEMETRY.span("pipeline.shard", start=plan.start, events=len(plan)):
+        accumulator = SummaryAccumulator(
+            names,
+            width_bits=width_bits,
+            start_index=plan.start,
+            time_base_us=plan.time_base_us,
+        )
+        accumulator.feed_records(records[plan.start : plan.stop])
+        return accumulator.close()
 
 
 def _drop_boundary_artifact(accumulator: SummaryAccumulator, plan: ShardPlan) -> None:
@@ -270,6 +273,7 @@ def analyze_sharded(
     workers: Optional[int] = None,
     width_bits: int = 24,
     use_processes: bool = False,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> ShardedAnalysis:
     """Shard, analyse concurrently, and merge deterministically.
 
@@ -279,49 +283,74 @@ def analyze_sharded(
     merge is strictly in shard order regardless of completion order, so
     the result is deterministic and byte-identical to the batch pipeline's
     summary for the same records.
-    """
-    plans = plan_shards(
-        records, names, max_shard_events=max_shard_events, width_bits=width_bits
-    )
-    if not plans:
-        empty = SummaryAccumulator(names, width_bits=width_bits)
-        return ShardedAnalysis(
-            summary=empty.summary(),
-            anomalies=[],
-            plans=[],
-            workers=0,
-            context_switches=0,
-        )
-    pool_size = max(1, workers if workers is not None else DEFAULT_WORKERS)
-    pool_size = min(pool_size, len(plans))
-    if pool_size == 1:
-        accumulators = [
-            _analyze_shard(records, names, plan, width_bits) for plan in plans
-        ]
-    else:
-        executor_cls = (
-            concurrent.futures.ProcessPoolExecutor
-            if use_processes
-            else concurrent.futures.ThreadPoolExecutor
-        )
-        with executor_cls(max_workers=pool_size) as pool:
-            futures = [
-                pool.submit(_analyze_shard, records, names, plan, width_bits)
-                for plan in plans
-            ]
-            accumulators = [future.result() for future in futures]
 
-    merged = accumulators[0]
-    for previous_plan, plan, accumulator in zip(plans, plans[1:], accumulators[1:]):
-        _drop_boundary_artifact(accumulator, plan)
-        merged.merge(accumulator, gap_idle_us=previous_plan.bridge_us)
-    return ShardedAnalysis(
-        summary=merged.summary(),
-        anomalies=merged.anomalies,
-        plans=plans,
-        workers=pool_size,
-        context_switches=merged.context_switches,
-    )
+    *progress*, when given, is called with each shard's event count as
+    that shard finishes (completion order, not shard order) — the hook
+    behind the CLI's ``--progress`` heartbeat.
+    """
+    telemetry = _TELEMETRY
+    started = time.perf_counter() if telemetry.enabled else 0.0
+    with telemetry.span("pipeline.analyze_sharded", events=len(records)) as run_span:
+        with telemetry.span("pipeline.plan", events=len(records)):
+            plans = plan_shards(
+                records, names, max_shard_events=max_shard_events, width_bits=width_bits
+            )
+        if not plans:
+            empty = SummaryAccumulator(names, width_bits=width_bits)
+            return ShardedAnalysis(
+                summary=empty.summary(),
+                anomalies=[],
+                plans=[],
+                workers=0,
+                context_switches=0,
+            )
+        pool_size = max(1, workers if workers is not None else DEFAULT_WORKERS)
+        pool_size = min(pool_size, len(plans))
+        run_span.set(shards=len(plans), workers=pool_size)
+        if pool_size == 1:
+            accumulators = []
+            for plan in plans:
+                accumulators.append(_analyze_shard(records, names, plan, width_bits))
+                if progress is not None:
+                    progress(len(plan))
+        else:
+            executor_cls = (
+                concurrent.futures.ProcessPoolExecutor
+                if use_processes
+                else concurrent.futures.ThreadPoolExecutor
+            )
+            with executor_cls(max_workers=pool_size) as pool:
+                futures = [
+                    pool.submit(_analyze_shard, records, names, plan, width_bits)
+                    for plan in plans
+                ]
+                if progress is not None:
+                    plan_of = dict(zip(futures, plans))
+                    for future in concurrent.futures.as_completed(futures):
+                        progress(len(plan_of[future]))
+                accumulators = [future.result() for future in futures]
+
+        with telemetry.span("pipeline.merge", shards=len(plans)):
+            merged = accumulators[0]
+            for previous_plan, plan, accumulator in zip(
+                plans, plans[1:], accumulators[1:]
+            ):
+                _drop_boundary_artifact(accumulator, plan)
+                merged.merge(accumulator, gap_idle_us=previous_plan.bridge_us)
+        if telemetry.enabled:
+            elapsed = time.perf_counter() - started
+            if elapsed > 0:
+                telemetry.set_gauge(
+                    "pipeline.events_per_sec", len(records) / elapsed
+                )
+            telemetry.count("pipeline.shards.analyzed", len(plans))
+        return ShardedAnalysis(
+            summary=merged.summary(),
+            anomalies=merged.anomalies,
+            plans=plans,
+            workers=pool_size,
+            context_switches=merged.context_switches,
+        )
 
 
 def analyze_capture_sharded(

@@ -19,6 +19,7 @@ Headed by the overall accounting::
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Iterable, Optional
 
 from repro.analysis.callstack import Anomaly, CallTreeAnalysis, analyze_capture
@@ -26,6 +27,7 @@ from repro.analysis.events import DecodedEvent, EventKind
 from repro.instrument.namefile import NameTable
 from repro.profiler.capture import Capture
 from repro.profiler.ram import RawRecord
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 
 @dataclasses.dataclass
@@ -319,6 +321,9 @@ class SummaryAccumulator:
         self._current = _ProcStack()
         self._suspended: list[_ProcStack] = []
         self._suspend_seq = 0
+        #: High-water marks, read out into telemetry at close().
+        self._peak_suspended = 0
+        self._peak_pending = 0
         #: Buffered (code, name, is_cs, t, index, tag) items awaiting
         #: switch-in resolution; ``None`` while no resolution is pending.
         self._pending: Optional[list[tuple]] = None
@@ -512,6 +517,8 @@ class SummaryAccumulator:
             current.suspend_seq = self._suspend_seq
             self._suspend_seq += 1
             self._suspended.append(current)
+            if len(self._suspended) > self._peak_suspended:
+                self._peak_suspended = len(self._suspended)
             # Which stack resumes depends on the upcoming block: defer.
             self._pending = []
             return
@@ -610,6 +617,8 @@ class SummaryAccumulator:
             block = self._pending
             if not final and (not block or not (block[-1][0] == _ENTRY and block[-1][2])):
                 return
+            if len(block) > self._peak_pending:
+                self._peak_pending = len(block)
             self._pending = None
             chosen = self._resolve(block)
             if chosen is None:
@@ -637,6 +646,10 @@ class SummaryAccumulator:
                 self._close_frame(stack)
         self._wall_us = (self._last_t - self._first_t) if self._first_t is not None else 0
         self._sealed = True
+        if _TELEMETRY.enabled:
+            _TELEMETRY.max_gauge("analysis.peak.pending_block", self._peak_pending)
+            _TELEMETRY.max_gauge("analysis.peak.suspended_procs", self._peak_suspended)
+            _TELEMETRY.max_gauge("analysis.peak.functions", len(self._functions))
         return self
 
     def merge(self, other: "SummaryAccumulator", *, gap_idle_us: int = 0) -> "SummaryAccumulator":
@@ -697,7 +710,16 @@ def summarize_records(
     accumulator = SummaryAccumulator(
         names, width_bits=width_bits, include_swtch=include_swtch
     )
-    return accumulator.feed_records(records).summary()
+    telemetry = _TELEMETRY
+    if not telemetry.enabled:
+        return accumulator.feed_records(records).summary()
+    started = time.perf_counter()
+    with telemetry.span("analysis.summarize_records"):
+        result = accumulator.feed_records(records).summary()
+    elapsed = time.perf_counter() - started
+    if elapsed > 0:
+        telemetry.set_gauge("analysis.events_per_sec", result.event_count / elapsed)
+    return result
 
 
 def summarize_capture_streaming(capture: Capture) -> ProfileSummary:

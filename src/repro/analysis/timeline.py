@@ -10,8 +10,15 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
+from typing import Iterable, Union
 
 from repro.analysis.callstack import CallNode, CallTreeAnalysis
+
+#: Frame names treated as device-interrupt handlers.  The case-study
+#: kernel has a single ISA interrupt dispatcher, but real tag files name
+#: one handler per source — both the timeline's ``intr`` row and the
+#: Chrome-trace exporter's interrupt track accept any set of names.
+DEFAULT_INTERRUPT_FRAMES: frozenset[str] = frozenset({"ISAINTR"})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,12 +46,25 @@ def process_spans(analysis: CallTreeAnalysis) -> dict[str, list[Span]]:
     return merged
 
 
-def interrupt_spans(analysis: CallTreeAnalysis, name: str = "ISAINTR") -> list[Span]:
-    """Intervals during which an interrupt frame was open."""
+def interrupt_spans(
+    analysis: CallTreeAnalysis,
+    names: Union[str, Iterable[str]] = DEFAULT_INTERRUPT_FRAMES,
+    *,
+    name: Union[str, None] = None,
+) -> list[Span]:
+    """Intervals during which any interrupt frame was open.
+
+    *names* may be a single frame name or any iterable of them; the
+    default covers the case-study kernel's ``ISAINTR`` dispatcher.  The
+    original single-name keyword ``name`` is kept as an alias.
+    """
+    if name is not None:
+        names = name
+    wanted = frozenset({names}) if isinstance(names, str) else frozenset(names)
     spans = [
         Span(node.enter_us, node.exit_us)
         for node in analysis.nodes()
-        if node.name == name and not node.synthetic and node.exit_us is not None
+        if node.name in wanted and not node.synthetic and node.exit_us is not None
     ]
     return _merge(sorted(spans, key=lambda s: s.start_us))
 
@@ -60,7 +80,10 @@ def _merge(spans: list[Span]) -> list[Span]:
 
 
 def render_timeline(
-    analysis: CallTreeAnalysis, width: int = 72, with_interrupts: bool = True
+    analysis: CallTreeAnalysis,
+    width: int = 72,
+    with_interrupts: bool = True,
+    interrupt_names: Union[str, Iterable[str]] = DEFAULT_INTERRUPT_FRAMES,
 ) -> str:
     """ASCII Gantt chart: '#' while the row holds the CPU."""
     wall = analysis.wall_us
@@ -80,7 +103,7 @@ def render_timeline(
     for proc, spans in sorted(process_spans(analysis).items()):
         lines.append(row(proc, spans, "#"))
     if with_interrupts:
-        spans = interrupt_spans(analysis)
+        spans = interrupt_spans(analysis, interrupt_names)
         if spans:
             lines.append(row("intr", spans, "^"))
     ticks = f"{'':<8}|0{'':<{max(0, width - 12)}}{wall} us|"

@@ -12,7 +12,9 @@ properties *statically*, before (or instead of) a run:
    enter/leave and spl*/splx discipline on every return path;
 3. :mod:`repro.lint.stream_lint` — raw/decoded capture files;
 4. :mod:`repro.lint.link_lint` — ``_ProfileBase`` resolution against the
-   live bus map.
+   live bus map;
+5. :mod:`repro.lint.telemetry_lint` — the profiler's own telemetry
+   (unclosed spans, metric-name collisions).
 
 Every finding is a :class:`~repro.lint.diagnostics.Diagnostic` with a
 stable ``P0xx``-style code and a severity; :mod:`repro.lint.runner`
@@ -49,6 +51,7 @@ from repro.lint.stream_lint import (
     lint_records,
     verify_capture,
 )
+from repro.lint.telemetry_lint import lint_telemetry
 
 __all__ = [
     "CODE_TABLE",
@@ -69,6 +72,7 @@ __all__ = [
     "lint_records",
     "lint_self_check",
     "lint_source_text",
+    "lint_telemetry",
     "render_json",
     "render_text",
     "verify_capture",

@@ -3,8 +3,8 @@
 Codes are stable API: scripts grep for them, tests assert them, and the
 JSON reporter emits them verbatim.  The numbering mirrors the pass
 structure — ``P0xx`` name/tag file, ``P1xx`` kernel source, ``P2xx``
-capture stream, ``P3xx`` link/bus — so a code alone tells you which
-stage of the tag→trigger→capture chain is broken.
+capture stream, ``P3xx`` link/bus, ``P4xx`` telemetry — so a code alone
+tells you which stage of the tag→trigger→capture chain is broken.
 """
 
 from __future__ import annotations
@@ -66,6 +66,11 @@ CODE_TABLE: dict[str, tuple[Severity, str]] = {
     "P304": (Severity.ERROR, "16-bit tag space spills past the mapped window"),
     "P305": (Severity.ERROR, "two-pass link layouts disagree"),
     "P306": (Severity.WARNING, "kernel instrumented but no Profiler attached"),
+    # -- P4xx: telemetry ------------------------------------------------------
+    "P401": (Severity.WARNING, "telemetry span opened but never closed"),
+    "P402": (Severity.ERROR, "metric name registered in more than one registry"),
+    "P403": (Severity.WARNING, "metric names collide after Prometheus sanitisation"),
+    "P404": (Severity.WARNING, "telemetry span records dropped (buffer full)"),
 }
 
 

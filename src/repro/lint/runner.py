@@ -38,8 +38,10 @@ from repro.lint.diagnostics import CODE_TABLE, LintReport, Severity
 from repro.lint.link_lint import lint_link
 from repro.lint.namefile_lint import lint_name_files, lint_name_table
 from repro.lint.stream_lint import lint_capture_defects, lint_records
+from repro.lint.telemetry_lint import lint_telemetry
 from repro.profiler.ram import DEFAULT_DEPTH
 from repro.profiler.upload import read_capture, salvage_capture
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 
 @dataclasses.dataclass
@@ -147,24 +149,34 @@ def lint_self_check(report: Optional[LintReport] = None) -> LintReport:
     )
     lint_kernel_source(report=report)
     lint_link(system.kernel, source="<case-study link>", report=report)
+    lint_telemetry(_TELEMETRY, source="<telemetry>", report=report)
     return report
 
 
 def lint_paths(options: LintOptions) -> LintReport:
-    """Run every pass the options select, in chain order."""
+    """Run every pass the options select, in chain order.
+
+    Each pass runs under a telemetry span (``lint.pass.<pass>``), so
+    ``--telemetry`` output breaks lint wall time down per pass; with
+    telemetry disabled the spans are no-ops.
+    """
     report = LintReport()
     if options.names:
-        lint_name_files(options.names, report=report)
+        with _TELEMETRY.span("lint.pass.namefile"):
+            lint_name_files(options.names, report=report)
     if options.captures:
-        table = lenient_name_table(options.names)
-        for capture in options.captures:
-            lint_capture_file(
-                capture, table, ram_depth=options.ram_depth, report=report
-            )
+        with _TELEMETRY.span("lint.pass.stream"):
+            table = lenient_name_table(options.names)
+            for capture in options.captures:
+                lint_capture_file(
+                    capture, table, ram_depth=options.ram_depth, report=report
+                )
     if options.kernel_ast:
-        lint_kernel_source(report=report)
+        with _TELEMETRY.span("lint.pass.kernel_ast"):
+            lint_kernel_source(report=report)
     if options.self_check:
-        lint_self_check(report=report)
+        with _TELEMETRY.span("lint.pass.self_check"):
+            lint_self_check(report=report)
     return report
 
 

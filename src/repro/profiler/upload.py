@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.profiler.ram import TIME_BITS, RawRecord, TraceRam
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 #: Bytes per serialised record: 2 tag + 3 time.
 RECORD_BYTES = 5
@@ -161,14 +162,28 @@ def iter_record_stream(
         raise ValueError(f"chunk_records must be positive, got {chunk_records}")
     chunk_bytes = chunk_records * RECORD_BYTES
     leftover = b""
+    telemetry = _TELEMETRY  # hoisted: one attribute check per chunk, not record
     while True:
         blob = stream.read(chunk_bytes)
         if not blob:
             break
         blob = leftover + blob
         usable = len(blob) - (len(blob) % RECORD_BYTES)
-        for i in range(0, usable, RECORD_BYTES):
-            yield RawRecord.unpack(blob[i : i + RECORD_BYTES])
+        if telemetry.enabled:
+            # Decode the chunk eagerly under a span so the span measures
+            # decode time, not the consumer's processing between yields.
+            with telemetry.span(
+                "upload.decode_chunk", records=usable // RECORD_BYTES
+            ):
+                decoded = [
+                    RawRecord.unpack(blob[i : i + RECORD_BYTES])
+                    for i in range(0, usable, RECORD_BYTES)
+                ]
+            telemetry.count("upload.records.decoded", len(decoded))
+            yield from decoded
+        else:
+            for i in range(0, usable, RECORD_BYTES):
+                yield RawRecord.unpack(blob[i : i + RECORD_BYTES])
         leftover = blob[usable:]
     if leftover:
         raise ValueError(
@@ -343,10 +358,21 @@ def iter_capture_file(
                 f"holds {seen}"
             )
         if check_crc and reader.crc32 != meta.crc32:  # type: ignore[union-attr]
+            _TELEMETRY.count("upload.crc.failures")
             raise ValueError(
                 f"record stream CRC32 {reader.crc32:#010x} disagrees with "  # type: ignore[union-attr]
                 f"the header's {meta.crc32:#010x}: the payload is corrupt"
             )
+
+
+def read_capture_meta(path_or_file: Union[str, Path, BinaryIO]) -> CaptureMeta:
+    """Read just the header of a capture file (either version).
+
+    Cheap — a few dozen bytes — so callers that stream the records can
+    still learn the record count up front (the ``--progress`` ETA).
+    """
+    with _open_context(path_or_file, "rb") as stream:
+        return _read_header(stream)
 
 
 def write_capture_stream(
@@ -497,10 +523,12 @@ def read_capture(
     if meta.crc32 is not None:
         actual = zlib.crc32(payload)
         if actual != meta.crc32:
+            _TELEMETRY.count("upload.crc.failures")
             raise ValueError(
                 f"record stream CRC32 {actual:#010x} disagrees with the "
                 f"header's {meta.crc32:#010x}: the payload is corrupt"
             )
+    _TELEMETRY.count("upload.records.decoded", len(records))
     return records, meta
 
 
@@ -561,6 +589,15 @@ def salvage_capture_bytes(blob: bytes) -> SalvageResult:
     single flipped magic bit, a truncated tail, a lying record count or a
     corrupt payload all still yield every recoverable record.
     """
+    result = _salvage_capture_bytes(blob)
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("upload.records.salvaged", len(result.records))
+        for defect in result.defects:
+            _TELEMETRY.count("upload.salvage.defects", kind=defect.kind)
+    return result
+
+
+def _salvage_capture_bytes(blob: bytes) -> SalvageResult:
     defects: list[CaptureDefect] = []
     n = len(blob)
     if n < len(MAGIC):

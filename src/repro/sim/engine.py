@@ -126,6 +126,8 @@ class InterruptQueue:
         self._seq = itertools.count()
         #: Count of interrupts ever posted, for statistics.
         self.posted = 0
+        #: Count of interrupts ever delivered (popped), for statistics.
+        self.popped = 0
 
     def __len__(self) -> int:
         return self._live
@@ -200,6 +202,7 @@ class InterruptQueue:
             return None
         heapq.heappop(best_bucket)
         self._live -= 1
+        self.popped += 1
         # Cached horizons below the popped level are stale only if this
         # entry defined them (same due); cheaper entries stay valid.
         level = best.line.ipl
@@ -250,6 +253,8 @@ class ReferenceInterruptQueue:
         self._seq = itertools.count()
         #: Count of interrupts ever posted, for statistics.
         self.posted = 0
+        #: Count of interrupts ever delivered (popped), for statistics.
+        self.popped = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -289,6 +294,7 @@ class ReferenceInterruptQueue:
         self._heap[best_index] = self._heap[-1]
         self._heap.pop()
         heapq.heapify(self._heap)
+        self.popped += 1
         return pending
 
     def cancel_line(self, line: InterruptLine) -> int:

@@ -34,6 +34,7 @@ from repro.profiler.eprom import PiggyBackAdapter
 from repro.profiler.hardware import ProfilerBoard
 from repro.sim.cpu import CostModel, Cpu
 from repro.sim.machine import Machine
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 #: Inline (``=``) trigger points planted by hand, per the paper's sample.
 INLINE_POINTS = ("MGET",)
@@ -55,10 +56,26 @@ class CaseStudySystem:
         return self.image.names
 
     def profile(self, run: Callable[[], object], label: str = "") -> Capture:
-        """Arm the board, run the workload callable, retrieve the capture."""
+        """Arm the board, run the workload callable, retrieve the capture.
+
+        With telemetry enabled, the kernel's and engine's free-running
+        statistics are read out once the board disarms (boundary sampling
+        — the per-event hot path carries no probes): triggers fired,
+        interrupts taken, kstack desyncs, interrupt-queue posts/pops, and
+        the simulated clock.
+        """
         session = CaptureSession(self.board, self.names, label=label)
         with session:
             run()
+        if _TELEMETRY.enabled:
+            stats = self.kernel.stats
+            _TELEMETRY.set_gauge("sim.kernel.triggers", stats["triggers"])
+            _TELEMETRY.set_gauge("sim.kernel.intr", stats["intr"])
+            _TELEMETRY.set_gauge("sim.kernel.kstack_desync", stats["kstack_desync"])
+            queue = self.machine.interrupts
+            _TELEMETRY.set_gauge("sim.intrq.posted", queue.posted)
+            _TELEMETRY.set_gauge("sim.intrq.popped", queue.popped)
+            _TELEMETRY.set_gauge("sim.clock.now_us", self.machine.clock.now_us)
         return session.capture
 
     def run_unprofiled(self, run: Callable[[], object]) -> None:

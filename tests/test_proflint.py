@@ -463,7 +463,9 @@ class TestReporting:
             f"P{n}"
             for n in (200, 201, 202, 203, 204, 205, 206, 207,
                       208, 209, 210, 211, 212, 213)
-        } | {f"P{n}" for n in (301, 302, 303, 304, 305, 306)}
+        } | {f"P{n}" for n in (301, 302, 303, 304, 305, 306)} | {
+            f"P{n}" for n in (401, 402, 403, 404)
+        }
 
     def test_text_format_is_compiler_style(self):
         report = lint_name_file_text("main/510\nmain/502\n", source="k.tags")
