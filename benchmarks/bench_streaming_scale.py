@@ -14,12 +14,29 @@ than batch in wall-clock, all three produce byte-identical summary text,
 and streaming peak memory is bounded (a 10x longer stream must not cost
 even 2x the peak).  A second test checks the same byte-identity on the
 real Figure 3 and Figure 5 workloads.
+
+The decode leg benchmarks the two record-decode engines over the same
+million-event stream: the per-record reference loader against the
+columnar shear decoder (:func:`decode_record_columns`), plus the full
+capture-file ingest both ways.  The columnar result is verified
+lossless (it re-serialises to the exact input bytes) before any timing
+claim is made.
+
+Environment knobs (the CI decode-parity job uses both)::
+
+    REPRO_DECODE_EVENTS       events in the decode leg (default 1000000)
+    REPRO_DECODE_MIN_SPEEDUP  asserted speedup floor (default 3.0); the
+                              10x target is reported, and missing it
+                              warns rather than fails
 """
 
 from __future__ import annotations
 
+import io
+import os
 import time
 import tracemalloc
+import warnings
 from typing import Iterator
 
 from paperbench import once
@@ -27,6 +44,14 @@ from paperbench import once
 from repro.analysis.callstack import analyze_capture
 from repro.analysis.pipeline import analyze_sharded
 from repro.analysis.summary import summarize, summarize_records
+from repro.profiler.upload import (
+    decode_record_columns,
+    dump_records,
+    iter_capture_columns,
+    iter_capture_file,
+    load_records,
+    write_capture_stream,
+)
 from repro.instrument.namefile import NameTable
 from repro.instrument.tags import TagEntry
 from repro.profiler.capture import Capture
@@ -137,6 +162,92 @@ def test_scale_million_events(benchmark, comparison):
     # ... and both are byte-identical to the batch summary.
     assert result["stream_text"] == result["batch_text"]
     assert result["shard_text"] == result["batch_text"]
+
+
+DECODE_TARGET_SPEEDUP = 10.0
+
+
+def decode_events() -> int:
+    return int(os.environ.get("REPRO_DECODE_EVENTS", 1_000_000))
+
+
+def decode_min_speedup() -> float:
+    return float(os.environ.get("REPRO_DECODE_MIN_SPEEDUP", 3.0))
+
+
+def run_decode_leg(total_events: int) -> dict:
+    records = list(synthetic_stream(total_events))
+    blob = dump_records(records)
+    capture_file = io.BytesIO()
+    write_capture_stream(capture_file, records, version=2)
+    capture_blob = capture_file.getvalue()
+
+    start = time.perf_counter()
+    reference = load_records(blob)
+    reference_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    columns = decode_record_columns(blob)
+    columnar_s = time.perf_counter() - start
+
+    # Losslessness before any timing claim: the shear re-serialises to
+    # the exact input bytes, and spot records match the reference.
+    assert columns.to_bytes() == blob
+    assert len(columns) == len(reference)
+    stride = max(1, len(reference) // 997)
+    for i in range(0, len(reference), stride):
+        assert columns.record(i) == reference[i]
+
+    start = time.perf_counter()
+    file_reference = sum(1 for _ in iter_capture_file(io.BytesIO(capture_blob)))
+    file_reference_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    file_columnar = sum(
+        len(batch) for batch in iter_capture_columns(io.BytesIO(capture_blob))
+    )
+    file_columnar_s = time.perf_counter() - start
+    assert file_reference == file_columnar == total_events
+
+    return {
+        "events": total_events,
+        "reference_s": reference_s,
+        "columnar_s": columnar_s,
+        "file_reference_s": file_reference_s,
+        "file_columnar_s": file_columnar_s,
+        "columnar_events_per_sec": total_events / columnar_s,
+    }
+
+
+def test_decode_leg_speedup(benchmark, comparison):
+    result = once(benchmark, run_decode_leg, decode_events())
+    speedup = result["reference_s"] / result["columnar_s"]
+    file_speedup = result["file_reference_s"] / result["file_columnar_s"]
+    floor = decode_min_speedup()
+
+    comparison.row("decode leg events", str(decode_events()), result["events"])
+    comparison.row("reference decode", "--", f"{result['reference_s'] * 1e3:.0f} ms")
+    comparison.row("columnar decode", "--", f"{result['columnar_s'] * 1e3:.0f} ms")
+    comparison.row(
+        "columnar throughput",
+        "--",
+        f"{result['columnar_events_per_sec'] / 1e6:.1f} M events/s",
+    )
+    comparison.row(
+        "blob decode speedup", f">= {DECODE_TARGET_SPEEDUP:.0f}x", f"{speedup:.1f}x"
+    )
+    comparison.row("capture-file ingest speedup", "reported", f"{file_speedup:.1f}x")
+
+    if speedup < DECODE_TARGET_SPEEDUP:
+        warnings.warn(
+            f"columnar decode only {speedup:.1f}x over reference, below the "
+            f"{DECODE_TARGET_SPEEDUP:.0f}x target (hard floor {floor:.0f}x)",
+            stacklevel=1,
+        )
+    assert speedup >= floor, (
+        f"columnar decode {speedup:.2f}x over reference, below the "
+        f"{floor:.1f}x hard floor (REPRO_DECODE_MIN_SPEEDUP)"
+    )
 
 
 def streaming_peak_bytes(total_events: int) -> int:

@@ -42,7 +42,7 @@ from repro.analysis.folded import flame_ascii, to_folded
 from repro.analysis.gprof import gprof_report
 from repro.analysis.pipeline import DEFAULT_SHARD_EVENTS, analyze_sharded
 from repro.analysis.timeline import render_timeline
-from repro.analysis.summary import summarize, summarize_records
+from repro.analysis.summary import summarize, summarize_columns, summarize_records
 from repro.analysis.trace import format_trace
 from repro.instrument.namefile import NameTable
 from repro.lint import (
@@ -56,6 +56,9 @@ from repro.lint import (
 from repro.profiler.capture import Capture
 from repro.profiler.ram import DEFAULT_DEPTH
 from repro.profiler.upload import (
+    DECODE_MODES,
+    DEFAULT_DECODE,
+    iter_capture_columns,
     iter_capture_file,
     read_capture_meta,
     salvage_capture,
@@ -260,6 +263,7 @@ def _print_sharded_summary(
         workers=args.shards,
         width_bits=capture.counter_width_bits,
         progress=progress.update,
+        decode=getattr(args, "decode", DEFAULT_DECODE),
     )
     progress.finish()
     out(
@@ -349,7 +353,7 @@ def cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
 def _cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
     names = NameTable.read(*args.names)
     if args.strict:
-        lint_report = lint_capture_file(args.capture, names)
+        lint_report = lint_capture_file(args.capture, names, decode=args.decode)
         out(render_text(lint_report))
         out("")
         if not lint_report.ok:
@@ -362,15 +366,31 @@ def _cmd_analyze(args: argparse.Namespace, out: Callable) -> int:
         # Never materialise the capture: decode and summarise straight off
         # the file in O(chunk) memory.
         progress = _make_progress(args, _stream_total(args.capture), label="stream")
-        summary = summarize_records(
-            progress.wrap(iter_capture_file(args.capture)), names
-        )
+        if args.decode == "columnar":
+
+            def _batches():
+                try:
+                    for batch in iter_capture_columns(args.capture):
+                        yield batch
+                        progress.update(len(batch))
+                finally:
+                    progress.finish()
+
+            summary = summarize_columns(_batches(), names)
+        else:
+            summary = summarize_records(
+                progress.wrap(iter_capture_file(args.capture)), names
+            )
         out(f"streamed {summary.event_count} events from {args.capture}")
         out(summary.format(limit=args.summary_limit))
         out("")
         return 0
     capture = Capture.load(
-        args.capture, names, label=f"cli: {args.capture}", salvage=args.salvage
+        args.capture,
+        names,
+        label=f"cli: {args.capture}",
+        salvage=args.salvage,
+        decode=args.decode,
     )
     out(f"loaded {len(capture)} events from {args.capture}")
     if args.shards is not None:
@@ -437,6 +457,7 @@ def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
         ram_depth=args.ram_depth or None,
         kernel_ast=args.kernel_ast,
         self_check=args.self_check or not explicit,
+        decode=args.decode,
     )
     report = lint_paths(options)
     out(render_json(report) if args.json else render_text(report))
@@ -588,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
         "damaged file and list the tolerated defects in a report footer "
         "instead of refusing",
     )
+    analyze.add_argument(
+        "--decode", choices=DECODE_MODES, default=DEFAULT_DECODE,
+        help="record-decode engine: 'columnar' (default, batch fast path) "
+        "or 'reference' (the per-record walker); output is byte-identical",
+    )
     _add_pipeline_flags(analyze)
     _add_telemetry_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
@@ -655,6 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--kernel-ast", action="store_true",
         help="lint kernel sources for enter/leave and spl discipline",
+    )
+    lint.add_argument(
+        "--decode", choices=DECODE_MODES, default=DEFAULT_DECODE,
+        help="record-decode engine for the stream verifier (diagnostics "
+        "are identical in both modes)",
     )
     lint.add_argument(
         "--self-check", action="store_true",

@@ -1,0 +1,324 @@
+"""Columnar decode: the batch fast path of the analysis ingest.
+
+The reference decode path (:mod:`repro.analysis.events`) walks one
+:class:`~repro.profiler.ram.RawRecord` at a time — a Python object, a
+name-table lookup and a wrap subtraction per record.  At fleet scale
+(ROADMAP item 1) that per-record interpreter work is the ceiling, so this
+module re-states the same three decode jobs over *columns*:
+
+1. **Timer unwrap** (:func:`unwrap_times`) — the modular
+   difference-and-accumulate of ``reconstruct_times`` as two C-level
+   passes (:func:`zip` + :func:`itertools.accumulate`) over a whole batch;
+2. **Tag decode** (:func:`build_decode_map` + :func:`decode_columns`) —
+   one memoizing dict lookup per record, batched into parallel code /
+   name / entry columns;
+3. **Entry/exit pairing** (:func:`pair_entry_exits`) — one stack pass
+   over the code column yielding matched call spans.
+
+The product, :class:`ColumnarEvents`, holds exactly the fields a list of
+:class:`~repro.analysis.events.DecodedEvent` would, column by column, and
+can materialise them (:meth:`ColumnarEvents.to_events`) at API boundaries
+that still want objects.  Equivalence with the reference walker is not
+assumed: ``tests/test_decode_differential.py`` holds the two engines
+field-identical over generated streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from itertools import accumulate, chain, islice
+from typing import Optional, Sequence
+
+from repro.analysis.events import DecodedEvent, EventKind, _check_width
+from repro.instrument.namefile import NameTable
+from repro.instrument.tags import TagEntry
+from repro.profiler.ram import RawRecord
+from repro.profiler.upload import RecordColumns
+
+#: Integer event codes — cheaper than :class:`EventKind` members in every
+#: columnar and streaming hot loop.  Shared with the streaming summary
+#: (:mod:`repro.analysis.summary` re-exports them as ``_ENTRY`` etc.).
+CODE_ENTRY, CODE_EXIT, CODE_INLINE, CODE_UNKNOWN = 0, 1, 2, 3
+
+KIND_FROM_CODE = {
+    CODE_ENTRY: EventKind.ENTRY,
+    CODE_EXIT: EventKind.EXIT,
+    CODE_INLINE: EventKind.INLINE,
+    CODE_UNKNOWN: EventKind.UNKNOWN,
+}
+
+
+def build_tag_map(names: NameTable) -> dict[int, tuple[str, int, bool]]:
+    """Precompute raw tag value -> (name, event code, is context switch).
+
+    One dict lookup replaces ``NameTable.decode`` plus kind mapping in the
+    streaming hot loops (the accumulator and the shard-boundary scanner).
+    """
+    tag_map: dict[int, tuple[str, int, bool]] = {}
+    for entry in names:
+        if entry.inline:
+            tag_map[entry.entry_value] = (entry.name, CODE_INLINE, False)
+        else:
+            tag_map[entry.entry_value] = (entry.name, CODE_ENTRY, entry.context_switch)
+            tag_map[entry.exit_value] = (entry.name, CODE_EXIT, entry.context_switch)
+    return tag_map
+
+
+class _DecodeMap(dict):
+    """Tag -> (code, name, entry) with memoized unknown-tag entries.
+
+    ``__missing__`` synthesises the ``tag#N`` identity the reference
+    decoder invents for a tag absent from the name file, and caches it so
+    a burst of the same unknown tag costs one format call, not one per
+    record.
+    """
+
+    def __missing__(self, tag: int) -> tuple[int, str, None]:
+        info = (CODE_UNKNOWN, f"tag#{tag}", None)
+        self[tag] = info
+        return info
+
+
+def build_decode_map(names: NameTable) -> dict[int, tuple[int, str, Optional[TagEntry]]]:
+    """Precompute raw tag value -> (event code, name, owning TagEntry).
+
+    The event-decode twin of :func:`build_tag_map`: carries the
+    :class:`TagEntry` itself so :class:`DecodedEvent` columns can be built
+    without touching ``NameTable.decode``.  Unknown tags resolve (and
+    memoize) on first sight.
+    """
+    decode_map = _DecodeMap()
+    for entry in names:
+        if entry.inline:
+            decode_map[entry.entry_value] = (CODE_INLINE, entry.name, entry)
+        else:
+            decode_map[entry.entry_value] = (CODE_ENTRY, entry.name, entry)
+            decode_map[entry.exit_value] = (CODE_EXIT, entry.name, entry)
+    return decode_map
+
+
+def unwrap_times(
+    raw_times: Sequence[int],
+    width_bits: int = 24,
+    *,
+    previous: Optional[int] = None,
+    base: int = 0,
+    check: bool = True,
+) -> list[int]:
+    """Vectorized counter unwrap: wrapped snapshots -> absolute timeline.
+
+    The columnar twin of :func:`repro.analysis.events.reconstruct_times`:
+    the per-record ``(t - prev) & mask`` difference runs in one
+    :func:`zip` comprehension and the running sum in one
+    :func:`itertools.accumulate` — no Python-level loop state per record.
+
+    With ``previous``/``base`` a caller unwraps a *chunk* of a longer
+    stream: ``previous`` is the last raw snapshot of the prior chunk and
+    ``base`` its final absolute time, exactly the carry the streaming
+    reference keeps between records.  When ``previous`` is ``None`` the
+    first snapshot defines ``base`` (t=0 by default).
+
+    ``check`` validates every snapshot against the counter width and
+    raises the reference decoder's exact :class:`ValueError` at the first
+    offending record; callers that replicate a non-validating reference
+    loop (the shard planner) pass ``check=False``.
+    """
+    _check_width(width_bits)
+    mask = (1 << width_bits) - 1
+    n = len(raw_times)
+    if check and n and max(raw_times) > mask:
+        for t in raw_times:
+            if t > mask:
+                raise ValueError(
+                    f"record time {t} exceeds the {width_bits}-bit counter"
+                )
+    if n == 0:
+        return []
+    if previous is None:
+        deltas = [
+            (b - a) & mask for a, b in zip(raw_times, islice(raw_times, 1, None))
+        ]
+        return list(accumulate(deltas, initial=base))
+    deltas = [(b - a) & mask for a, b in zip(chain((previous,), raw_times), raw_times)]
+    return list(accumulate(deltas, initial=base))[1:]
+
+
+def columns_from_records(records: Sequence[RawRecord]) -> RecordColumns:
+    """Shear a record-object sequence into columns.
+
+    The adapter for callers that hold :class:`RawRecord` objects (a
+    capture already in memory) but want the columnar engines; captures
+    still on disk decode straight to columns via
+    :func:`repro.profiler.upload.iter_capture_columns` without ever
+    building the objects.
+    """
+    return RecordColumns(
+        tags=[record.tag for record in records],
+        times=[record.time for record in records],
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnarEvents:
+    """A batch of decoded events as parallel columns.
+
+    Field-for-field the same information as a list of
+    :class:`DecodedEvent` — index ``start_index + i``, absolute time,
+    event code, name, owning :class:`TagEntry` (``None`` for unknown
+    tags) and the raw tag/time pair — held as columns so analysis passes
+    iterate machine values, not objects.
+    """
+
+    start_index: int
+    times: Sequence[int]
+    codes: Sequence[int]
+    names: Sequence[str]
+    entries: Sequence[Optional[TagEntry]]
+    tags: Sequence[int]
+    raw_times: Sequence[int]
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def event(self, offset: int) -> DecodedEvent:
+        """Materialise the single event at *offset* within the batch."""
+        return DecodedEvent(
+            index=self.start_index + offset,
+            time_us=self.times[offset],
+            kind=KIND_FROM_CODE[self.codes[offset]],
+            name=self.names[offset],
+            entry=self.entries[offset],
+            raw=RawRecord(tag=self.tags[offset], time=self.raw_times[offset]),
+        )
+
+    def to_events(self) -> list[DecodedEvent]:
+        """Materialise the whole batch as :class:`DecodedEvent` objects.
+
+        Field-identical to the reference decoder's output over the same
+        records (the differential suite holds it to that).
+        """
+        kinds = KIND_FROM_CODE
+        return [
+            DecodedEvent(
+                index=index,
+                time_us=time_us,
+                kind=kinds[code],
+                name=name,
+                entry=entry,
+                raw=RawRecord(tag=tag, time=raw_time),
+            )
+            for index, (time_us, code, name, entry, tag, raw_time) in enumerate(
+                zip(
+                    self.times,
+                    self.codes,
+                    self.names,
+                    self.entries,
+                    self.tags,
+                    self.raw_times,
+                ),
+                start=self.start_index,
+            )
+        ]
+
+
+def decode_columns(
+    columns: RecordColumns,
+    names: NameTable,
+    width_bits: int = 24,
+    *,
+    start_index: int = 0,
+    time_base_us: int = 0,
+    previous: Optional[int] = None,
+    decode_map: Optional[dict] = None,
+) -> ColumnarEvents:
+    """Decode one columnar record batch against *names*.
+
+    The batch twin of :func:`repro.analysis.events.iter_decoded_events`:
+    the timer unwrap is vectorized (:func:`unwrap_times`, carrying
+    ``previous``/``time_base_us`` across batches) and the tag decode is
+    one memoized dict hit per record.  Passing a prebuilt ``decode_map``
+    (:func:`build_decode_map`) amortises the table build across batches.
+
+    The whole batch is validated before anything is returned, so an
+    over-width snapshot raises *before* the batch's earlier events are
+    observable — the streaming reference yields them first, then raises
+    the identical :class:`ValueError`.
+    """
+    if decode_map is None:
+        decode_map = build_decode_map(names)
+    times = unwrap_times(
+        columns.times, width_bits, previous=previous, base=time_base_us
+    )
+    tags = columns.tags
+    info = [decode_map[tag] for tag in tags]
+    if info:
+        codes, name_col, entry_col = zip(*info)
+    else:
+        codes = name_col = entry_col = ()
+    return ColumnarEvents(
+        start_index=start_index,
+        times=times,
+        codes=codes,
+        names=name_col,
+        entries=entry_col,
+        tags=tags,
+        raw_times=columns.times,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CallSpan:
+    """One matched entry/exit pair: a completed call."""
+
+    name: str
+    entry_index: int
+    exit_index: int
+    elapsed_us: int
+
+
+def pair_entry_exits(events: ColumnarEvents) -> list[CallSpan]:
+    """Batched entry/exit pairing: matched call spans from the columns.
+
+    One stack pass over the code column.  An exit closes the innermost
+    open frame of the same name; frames opened above it are popped
+    without producing a span (the administrative close of a missed exit),
+    an exit with no open frame of its name is ignored (capture began
+    mid-call), and frames still open at the end of the batch produce no
+    span (window truncation).  Inline and unknown events have no stack
+    effect.  This is deliberately the *within-process* view — pairing
+    across context switches is the summary state machine's job — which
+    makes it the cheap first pass for span-oriented consumers (flame
+    exports, per-call latency scans).
+    """
+    spans: list[CallSpan] = []
+    stack: list[tuple[str, int, int]] = []
+    open_names: dict[str, int] = {}
+    times = events.times
+    names = events.names
+    for offset, code in enumerate(events.codes):
+        if code == CODE_ENTRY:
+            name = names[offset]
+            stack.append((name, offset, times[offset]))
+            open_names[name] = open_names.get(name, 0) + 1
+        elif code == CODE_EXIT:
+            name = names[offset]
+            if not open_names.get(name):
+                continue
+            while stack:
+                frame_name, entry_offset, entry_time = stack.pop()
+                count = open_names[frame_name] - 1
+                if count:
+                    open_names[frame_name] = count
+                else:
+                    del open_names[frame_name]
+                if frame_name == name:
+                    spans.append(
+                        CallSpan(
+                            name=name,
+                            entry_index=events.start_index + entry_offset,
+                            exit_index=events.start_index + offset,
+                            elapsed_us=times[offset] - entry_time,
+                        )
+                    )
+                    break
+    return spans

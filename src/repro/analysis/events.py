@@ -17,12 +17,17 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from itertools import islice
 from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.instrument.namefile import NameTable
 from repro.instrument.tags import TagEntry, TagKind
 from repro.profiler.capture import Capture
 from repro.profiler.ram import TIME_BITS, RawRecord
+from repro.profiler.upload import DEFAULT_DECODE, check_decode_mode
+
+#: Records per batch when the columnar engine drains a record iterable.
+_COLUMNAR_CHUNK_RECORDS = 8192
 
 
 def _check_width(width_bits: int) -> None:
@@ -93,10 +98,15 @@ def reconstruct_times(
     return times
 
 
-def decode_capture(capture: Capture) -> list[DecodedEvent]:
+def decode_capture(
+    capture: Capture, *, decode: str = DEFAULT_DECODE
+) -> list[DecodedEvent]:
     """Decode every record of *capture* against its name table."""
     return decode_records(
-        capture.records, capture.names, width_bits=capture.counter_width_bits
+        capture.records,
+        capture.names,
+        width_bits=capture.counter_width_bits,
+        decode=decode,
     )
 
 
@@ -107,20 +117,40 @@ def iter_decoded_events(
     *,
     start_index: int = 0,
     time_base_us: int = 0,
+    decode: str = DEFAULT_DECODE,
 ) -> Iterator[DecodedEvent]:
-    """Decode a record stream lazily, one event at a time.
+    """Decode a record stream lazily.
 
     The streaming twin of :func:`decode_records`: *records* may be any
     iterable (a generator draining a capture file chunk by chunk), and the
     only state held between events is the previous counter snapshot and
-    the running absolute time — O(1) memory regardless of trace length,
-    with the 24-bit wrap handled across chunk boundaries exactly as in
-    :func:`reconstruct_times`.
+    the running absolute time — O(chunk) memory regardless of trace
+    length, with the 24-bit wrap handled across chunk boundaries exactly
+    as in :func:`reconstruct_times`.
 
     ``start_index`` and ``time_base_us`` let a caller decode a *slice* of
     a longer run (a shard) while keeping indices and timestamps in the
     whole-run frame of reference.
+
+    ``decode`` selects the engine.  ``"columnar"`` (the default) drains
+    *records* in batches through :mod:`repro.analysis.columnar` and
+    yields the identical event sequence; ``"reference"`` is the original
+    one-record-at-a-time walker, kept as the executable specification.
+    The one observable difference: the columnar engine validates a whole
+    batch before yielding any of it, so an over-width snapshot raises
+    (the same :class:`ValueError`) before that batch's earlier events are
+    seen, where the reference yields them first.
     """
+    check_decode_mode(decode)
+    if decode == "columnar":
+        yield from _iter_decoded_events_columnar(
+            records,
+            names,
+            width_bits,
+            start_index=start_index,
+            time_base_us=time_base_us,
+        )
+        return
     _check_width(width_bits)
     mask = (1 << width_bits) - 1
     absolute = time_base_us
@@ -157,8 +187,56 @@ def iter_decoded_events(
         index += 1
 
 
+def _iter_decoded_events_columnar(
+    records: Iterable[RawRecord],
+    names: NameTable,
+    width_bits: int,
+    *,
+    start_index: int,
+    time_base_us: int,
+) -> Iterator[DecodedEvent]:
+    """Columnar engine behind :func:`iter_decoded_events`.
+
+    Drains *records* in batches, shears each batch into columns, decodes
+    it in one shot and materialises the events — carrying the previous
+    raw snapshot and running absolute time across batches exactly like
+    the reference walker.
+    """
+    from repro.analysis import columnar  # lazy: events is columnar's base
+
+    _check_width(width_bits)
+    decode_map = columnar.build_decode_map(names)
+    iterator = iter(records)
+    index = start_index
+    base = time_base_us
+    previous: Optional[int] = None
+    while True:
+        chunk = list(islice(iterator, _COLUMNAR_CHUNK_RECORDS))
+        if not chunk:
+            return
+        batch = columnar.decode_columns(
+            columnar.columns_from_records(chunk),
+            names,
+            width_bits,
+            start_index=index,
+            time_base_us=base,
+            previous=previous,
+            decode_map=decode_map,
+        )
+        yield from batch.to_events()
+        index += len(chunk)
+        base = batch.times[-1]
+        previous = chunk[-1].time
+
+
 def decode_records(
-    records: Sequence[RawRecord], names: NameTable, width_bits: int = 24
+    records: Sequence[RawRecord],
+    names: NameTable,
+    width_bits: int = 24,
+    *,
+    decode: str = DEFAULT_DECODE,
 ) -> list[DecodedEvent]:
     """Decode a raw record sequence against *names*."""
-    return list(iter_decoded_events(records, names, width_bits=width_bits))
+    return list(
+        iter_decoded_events(records, names, width_bits=width_bits, decode=decode)
+    )

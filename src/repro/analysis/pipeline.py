@@ -37,6 +37,7 @@ from repro.analysis.summary import (
 from repro.instrument.namefile import NameTable
 from repro.profiler.capture import Capture
 from repro.profiler.ram import RawRecord
+from repro.profiler.upload import DEFAULT_DECODE, check_decode_mode
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 #: Stock board depth — the natural shard size for back-to-back captures.
@@ -108,32 +109,12 @@ def _unwind_name(
     return None
 
 
-def plan_shards(
-    records: Sequence[RawRecord],
-    names: NameTable,
-    *,
-    max_shard_events: int = DEFAULT_SHARD_EVENTS,
-    width_bits: int = 24,
-) -> list[ShardPlan]:
-    """Find quiescent cut points and pack them into shard plans.
-
-    The scanner replays only the *stack shape* of the reconstruction —
-    frame names, suspensions and switch-in resolution, no times and no
-    aggregation — so it costs a fraction of a full analysis pass and the
-    expensive per-event work stays inside the parallel shard workers.
-    """
-    if max_shard_events <= 0:
-        raise ValueError(f"max_shard_events must be positive, got {max_shard_events}")
-    from repro.analysis.events import _check_width
-
-    _check_width(width_bits)
+def _scan_candidates(
+    records: Sequence[RawRecord], tag_map: dict, mask: int
+) -> list[tuple[int, int, int]]:
+    """Reference candidate scan: one record object at a time."""
     n = len(records)
-    if n == 0:
-        return []
-    tag_map = build_tag_map(names)
-    mask = (1 << width_bits) - 1
     get = tag_map.get
-
     # (cut_after_index, bridge_us, absolute time of next shard's first event)
     candidates: list[tuple[int, int, int]] = []
     current: list[str] = []
@@ -199,6 +180,144 @@ def plan_shards(
                     if current:
                         current.pop()
         # _INLINE and unknown tags have no stack effect.
+    return candidates
+
+
+def _unwind_name_columnar(infos: Sequence, start: int) -> Optional[str]:
+    """:func:`_unwind_name` over a predecoded info column."""
+    depth = 0
+    for i in range(start, len(infos)):
+        info = infos[i]
+        if info is None:
+            continue
+        name, code, is_cs = info
+        if code == _ENTRY:
+            if is_cs:
+                return None
+            depth += 1
+        elif code == _EXIT:
+            if depth > 0:
+                depth -= 1
+            else:
+                return name
+    return None
+
+
+def _scan_candidates_columnar(
+    records: Sequence[RawRecord],
+    tag_map: dict,
+    mask: int,
+    width_bits: int,
+) -> list[tuple[int, int, int]]:
+    """Columnar candidate scan: predecoded time and tag columns.
+
+    The per-record attribute walks, wrap arithmetic and dict lookups of
+    :func:`_scan_candidates` are hoisted into three batch passes; the
+    stack replay then runs over plain values.  Candidates are identical
+    to the reference scanner's (differential-tested), so the packing
+    loop and every plan downstream cannot diverge.
+    """
+    from repro.analysis.columnar import unwrap_times
+
+    n = len(records)
+    raw_times = [record.time for record in records]
+    # The reference scanner masks deltas without validating snapshots, so
+    # the columnar unwrap must not validate either (check=False).
+    absolutes = unwrap_times(raw_times, width_bits, check=False)
+    get = tag_map.get
+    infos = [get(record.tag) for record in records]
+
+    candidates: list[tuple[int, int, int]] = []
+    current: list[str] = []
+    suspended: list[list] = []  # [suspend_seq, frames]
+    seq = 0
+
+    for i in range(n):
+        info = infos[i]
+        if info is None:
+            continue
+        name, code, is_cs = info
+        if code == _ENTRY:
+            if (
+                is_cs
+                and not current
+                and i + 1 < n
+                and all(not frames for _, frames in suspended)
+            ):
+                nxt = infos[i + 1]
+                if nxt is not None and nxt[1] == _EXIT and nxt[2]:
+                    bridge = (raw_times[i + 1] - raw_times[i]) & mask
+                    candidates.append((i, bridge, absolutes[i] + bridge))
+            current.append(name)
+        elif code == _EXIT:
+            if is_cs:
+                if name in current:
+                    while current and current[-1] != name:
+                        current.pop()
+                    if current:
+                        current.pop()
+                suspended.append([seq, current])
+                seq += 1
+                unwind = _unwind_name_columnar(infos, i + 1)
+                chosen = None
+                if unwind is not None:
+                    matches = [
+                        stack
+                        for stack in suspended
+                        if stack[1] and stack[1][-1] == unwind
+                    ]
+                    if matches:
+                        chosen = min(matches, key=lambda s: s[0])
+                else:
+                    empty = [stack for stack in suspended if not stack[1]]
+                    if empty:
+                        chosen = min(empty, key=lambda s: s[0])
+                if chosen is None:
+                    current = []
+                else:
+                    suspended.remove(chosen)
+                    current = chosen[1]
+            else:
+                if name in current:
+                    while current and current[-1] != name:
+                        current.pop()
+                    if current:
+                        current.pop()
+    return candidates
+
+
+def plan_shards(
+    records: Sequence[RawRecord],
+    names: NameTable,
+    *,
+    max_shard_events: int = DEFAULT_SHARD_EVENTS,
+    width_bits: int = 24,
+    decode: str = DEFAULT_DECODE,
+) -> list[ShardPlan]:
+    """Find quiescent cut points and pack them into shard plans.
+
+    The scanner replays only the *stack shape* of the reconstruction —
+    frame names, suspensions and switch-in resolution, no times and no
+    aggregation — so it costs a fraction of a full analysis pass and the
+    expensive per-event work stays inside the parallel shard workers.
+    ``decode`` selects the scan engine (columnar by default); the plans
+    are identical either way.
+    """
+    if max_shard_events <= 0:
+        raise ValueError(f"max_shard_events must be positive, got {max_shard_events}")
+    from repro.analysis.events import _check_width
+
+    _check_width(width_bits)
+    check_decode_mode(decode)
+    n = len(records)
+    if n == 0:
+        return []
+    tag_map = build_tag_map(names)
+    mask = (1 << width_bits) - 1
+    if decode == "columnar":
+        candidates = _scan_candidates_columnar(records, tag_map, mask, width_bits)
+    else:
+        candidates = _scan_candidates(records, tag_map, mask)
 
     plans: list[ShardPlan] = []
     start = 0
@@ -238,6 +357,7 @@ def _analyze_shard(
     names: NameTable,
     plan: ShardPlan,
     width_bits: int,
+    decode: str = DEFAULT_DECODE,
 ) -> SummaryAccumulator:
     with _TELEMETRY.span("pipeline.shard", start=plan.start, events=len(plan)):
         accumulator = SummaryAccumulator(
@@ -246,7 +366,13 @@ def _analyze_shard(
             start_index=plan.start,
             time_base_us=plan.time_base_us,
         )
-        accumulator.feed_records(records[plan.start : plan.stop])
+        shard = records[plan.start : plan.stop]
+        if decode == "columnar":
+            from repro.analysis.columnar import columns_from_records
+
+            accumulator.feed_columns(columns_from_records(shard))
+        else:
+            accumulator.feed_records(shard)
         return accumulator.close()
 
 
@@ -274,6 +400,7 @@ def analyze_sharded(
     width_bits: int = 24,
     use_processes: bool = False,
     progress: Optional[Callable[[int], None]] = None,
+    decode: str = DEFAULT_DECODE,
 ) -> ShardedAnalysis:
     """Shard, analyse concurrently, and merge deterministically.
 
@@ -288,12 +415,17 @@ def analyze_sharded(
     that shard finishes (completion order, not shard order) — the hook
     behind the CLI's ``--progress`` heartbeat.
     """
+    check_decode_mode(decode)
     telemetry = _TELEMETRY
     started = time.perf_counter() if telemetry.enabled else 0.0
     with telemetry.span("pipeline.analyze_sharded", events=len(records)) as run_span:
         with telemetry.span("pipeline.plan", events=len(records)):
             plans = plan_shards(
-                records, names, max_shard_events=max_shard_events, width_bits=width_bits
+                records,
+                names,
+                max_shard_events=max_shard_events,
+                width_bits=width_bits,
+                decode=decode,
             )
         if not plans:
             empty = SummaryAccumulator(names, width_bits=width_bits)
@@ -310,7 +442,9 @@ def analyze_sharded(
         if pool_size == 1:
             accumulators = []
             for plan in plans:
-                accumulators.append(_analyze_shard(records, names, plan, width_bits))
+                accumulators.append(
+                    _analyze_shard(records, names, plan, width_bits, decode)
+                )
                 if progress is not None:
                     progress(len(plan))
         else:
@@ -321,7 +455,7 @@ def analyze_sharded(
             )
             with executor_cls(max_workers=pool_size) as pool:
                 futures = [
-                    pool.submit(_analyze_shard, records, names, plan, width_bits)
+                    pool.submit(_analyze_shard, records, names, plan, width_bits, decode)
                     for plan in plans
                 ]
                 if progress is not None:
@@ -359,6 +493,7 @@ def analyze_capture_sharded(
     max_shard_events: int = DEFAULT_SHARD_EVENTS,
     workers: Optional[int] = None,
     use_processes: bool = False,
+    decode: str = DEFAULT_DECODE,
 ) -> ShardedAnalysis:
     """Sharded analysis of a :class:`Capture` (summary identical to batch)."""
     return analyze_sharded(
@@ -368,4 +503,5 @@ def analyze_capture_sharded(
         workers=workers,
         width_bits=capture.counter_width_bits,
         use_processes=use_processes,
+        decode=decode,
     )

@@ -23,10 +23,19 @@ import time
 from typing import Iterable, Optional
 
 from repro.analysis.callstack import Anomaly, CallTreeAnalysis, analyze_capture
+from repro.analysis.columnar import (
+    CODE_ENTRY as _ENTRY,
+    CODE_EXIT as _EXIT,
+    CODE_INLINE as _INLINE,
+    CODE_UNKNOWN as _UNKNOWN,
+    build_tag_map,
+    unwrap_times as _unwrap_times,
+)
 from repro.analysis.events import DecodedEvent, EventKind
 from repro.instrument.namefile import NameTable
 from repro.profiler.capture import Capture
 from repro.profiler.ram import RawRecord
+from repro.profiler.upload import RecordColumns
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 
@@ -229,8 +238,9 @@ def summarize_capture(capture: Capture) -> ProfileSummary:
 
 # -- streaming summary -------------------------------------------------------
 
-#: Internal event codes (cheaper than EventKind members in the hot loop).
-_ENTRY, _EXIT, _INLINE, _UNKNOWN = 0, 1, 2, 3
+# The integer event codes and the tag map now live in
+# repro.analysis.columnar (shared with the columnar decode engine); the
+# private aliases and ``build_tag_map`` stay importable from here.
 
 _CODE_FROM_KIND = {
     EventKind.ENTRY: _ENTRY,
@@ -238,22 +248,6 @@ _CODE_FROM_KIND = {
     EventKind.INLINE: _INLINE,
     EventKind.UNKNOWN: _UNKNOWN,
 }
-
-
-def build_tag_map(names: NameTable) -> dict[int, tuple[str, int, bool]]:
-    """Precompute raw tag value -> (name, event code, is context switch).
-
-    One dict lookup replaces ``NameTable.decode`` plus kind mapping in the
-    streaming hot loops (the accumulator and the shard-boundary scanner).
-    """
-    tag_map: dict[int, tuple[str, int, bool]] = {}
-    for entry in names:
-        if entry.inline:
-            tag_map[entry.entry_value] = (entry.name, _INLINE, False)
-        else:
-            tag_map[entry.entry_value] = (entry.name, _ENTRY, entry.context_switch)
-            tag_map[entry.exit_value] = (entry.name, _EXIT, entry.context_switch)
-    return tag_map
 
 
 class _ProcStack:
@@ -418,6 +412,82 @@ class SummaryAccumulator:
             self._event_count += count
             if count:
                 self._last_t = absolute
+        return self
+
+    def feed_columns(self, columns: RecordColumns) -> "SummaryAccumulator":
+        """Fold one columnar record batch in (the columnar fast path).
+
+        The batch twin of :meth:`feed_records`: the timer unwrap is
+        vectorized over the whole batch and the per-event loop walks
+        plain integers, never a :class:`RawRecord`.  State carried
+        between batches (previous snapshot, absolute time, indices) is
+        identical to the reference path's, including on a mid-batch
+        error, so interleaving the two feeds is well-defined.
+        """
+        if self._sealed:
+            raise RuntimeError("cannot feed a sealed SummaryAccumulator")
+        tag_map = self._tag_map
+        if tag_map is None:
+            raise ValueError("feed_columns() needs the accumulator built with names")
+        raw_times = columns.times
+        tags = columns.tags
+        n = len(tags)
+        if n == 0:
+            return self
+        mask = self._mask
+        # Find the first over-width snapshot (if any): the prefix before
+        # it folds in normally, then the reference decoder's exact error
+        # is raised with the reference's exact carried state.
+        bad_time: Optional[int] = None
+        if max(raw_times) > mask:
+            for offset, traw in enumerate(raw_times):
+                if traw > mask:
+                    bad_time = traw
+                    raw_times = raw_times[:offset]
+                    tags = tags[:offset]
+                    n = offset
+                    break
+        absolutes = _unwrap_times(
+            raw_times,
+            self._width_bits,
+            previous=self._prev_raw,
+            base=self._absolute,
+        )
+        get = tag_map.get
+        apply = self._apply
+        index = self._next_index
+        offset = -1
+        try:
+            for offset in range(n):
+                absolute = absolutes[offset]
+                tag = tags[offset]
+                info = get(tag)
+                if info is None:
+                    name, code, is_cs = f"tag#{tag}", _UNKNOWN, False
+                else:
+                    name, code, is_cs = info
+                if self._first_t is None:
+                    self._first_t = absolute
+                    self._prev_t = absolute
+                if self._pending is not None:
+                    self._pending.append((code, name, is_cs, absolute, index, tag))
+                    if code == _ENTRY and is_cs:
+                        self._drain(final=False)
+                else:
+                    apply(code, name, is_cs, absolute, index, tag)
+                index += 1
+        finally:
+            if offset >= 0:
+                self._absolute = absolutes[offset]
+                self._prev_raw = raw_times[offset]
+                self._event_count += offset + 1
+                self._last_t = absolutes[offset]
+            self._next_index = index
+        if bad_time is not None:
+            raise ValueError(
+                f"record time {bad_time} exceeds the "
+                f"{self._width_bits}-bit counter"
+            )
         return self
 
     # -- the state machine ----------------------------------------------------
@@ -716,6 +786,38 @@ def summarize_records(
     started = time.perf_counter()
     with telemetry.span("analysis.summarize_records"):
         result = accumulator.feed_records(records).summary()
+    elapsed = time.perf_counter() - started
+    if elapsed > 0:
+        telemetry.set_gauge("analysis.events_per_sec", result.event_count / elapsed)
+    return result
+
+
+def summarize_columns(
+    batches: Iterable[RecordColumns],
+    names: NameTable,
+    width_bits: int = 24,
+    include_swtch: bool = False,
+) -> ProfileSummary:
+    """One-call streaming summary of a columnar batch stream.
+
+    The columnar twin of :func:`summarize_records`: *batches* is any
+    iterable of :class:`RecordColumns` (typically
+    :func:`repro.profiler.upload.iter_capture_columns` draining a capture
+    file), and the report is byte-identical to the per-record path's.
+    """
+    accumulator = SummaryAccumulator(
+        names, width_bits=width_bits, include_swtch=include_swtch
+    )
+    telemetry = _TELEMETRY
+    if not telemetry.enabled:
+        for batch in batches:
+            accumulator.feed_columns(batch)
+        return accumulator.summary()
+    started = time.perf_counter()
+    with telemetry.span("analysis.summarize_columns"):
+        for batch in batches:
+            accumulator.feed_columns(batch)
+        result = accumulator.summary()
     elapsed = time.perf_counter() - started
     if elapsed > 0:
         telemetry.set_gauge("analysis.events_per_sec", result.event_count / elapsed)

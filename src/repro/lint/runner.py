@@ -40,7 +40,7 @@ from repro.lint.namefile_lint import lint_name_files, lint_name_table
 from repro.lint.stream_lint import lint_capture_defects, lint_records
 from repro.lint.telemetry_lint import lint_telemetry
 from repro.profiler.ram import DEFAULT_DEPTH
-from repro.profiler.upload import read_capture, salvage_capture
+from repro.profiler.upload import DEFAULT_DECODE, read_capture, salvage_capture
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 
@@ -58,6 +58,8 @@ class LintOptions:
     kernel_ast: bool = False
     #: Build the case study (no workload) and lint names/link against it.
     self_check: bool = False
+    #: Record-decode engine for the stream verifier ("columnar"/"reference").
+    decode: str = DEFAULT_DECODE
 
 
 def lenient_name_table(paths: Sequence[Union[str, Path]]) -> NameTable:
@@ -87,6 +89,7 @@ def lint_capture_file(
     ram_depth: Optional[int] = DEFAULT_DEPTH,
     report: Optional[LintReport] = None,
     salvage: bool = False,
+    decode: str = DEFAULT_DECODE,
 ) -> LintReport:
     """Run the stream verifier over one capture file.
 
@@ -94,12 +97,14 @@ def lint_capture_file(
     ``salvage=True`` the salvaging decoder then takes over — its
     tolerated faults become file-level diagnostics (P209–P213) and the
     recovered records still go through the stream checks, so a damaged
-    capture yields a full report instead of one opaque error.
+    capture yields a full report instead of one opaque error.  ``decode``
+    selects the capture reader and event-decode engine (columnar by
+    default); the report is identical in both modes.
     """
     report = report if report is not None else LintReport()
     source = str(path)
     try:
-        records, meta = read_capture(path)
+        records, meta = read_capture(path, decode=decode)
     except OSError as exc:
         report.add("P200", f"cannot read capture: {exc}", source=source)
         return report
@@ -107,7 +112,7 @@ def lint_capture_file(
         report.add("P200", f"cannot read capture: {exc}", source=source)
         if not salvage:
             return report
-        result = salvage_capture(path)
+        result = salvage_capture(path, decode=decode)
         lint_capture_defects(result.defects, source=source, report=report)
         records, meta = result.records, result.meta
         if not records:
@@ -126,6 +131,7 @@ def lint_capture_file(
         width_bits=meta.counter_width_bits,
         ram_depth=ram_depth,
         report=report,
+        decode=decode,
     )
 
 
@@ -169,7 +175,11 @@ def lint_paths(options: LintOptions) -> LintReport:
             table = lenient_name_table(options.names)
             for capture in options.captures:
                 lint_capture_file(
-                    capture, table, ram_depth=options.ram_depth, report=report
+                    capture,
+                    table,
+                    ram_depth=options.ram_depth,
+                    report=report,
+                    decode=options.decode,
                 )
     if options.kernel_ast:
         with _TELEMETRY.span("lint.pass.kernel_ast"):

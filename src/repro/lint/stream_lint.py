@@ -33,7 +33,7 @@ from repro.instrument.namefile import NameTable
 from repro.lint.diagnostics import LintReport
 from repro.profiler.capture import Capture
 from repro.profiler.ram import DEFAULT_DEPTH, RawRecord
-from repro.profiler.upload import CaptureDefect
+from repro.profiler.upload import DEFAULT_DECODE, CaptureDefect, check_decode_mode
 
 #: Interrupt nesting can never exceed the number of distinct priority
 #: levels: each nested interrupt must arrive at a strictly higher ipl.
@@ -88,38 +88,46 @@ def lint_records(
     width_bits: int = 24,
     ram_depth: Optional[int] = DEFAULT_DEPTH,
     report: Optional[LintReport] = None,
+    decode: str = DEFAULT_DECODE,
 ) -> LintReport:
-    """Verify one raw record stream against *names*."""
+    """Verify one raw record stream against *names*.
+
+    ``decode`` selects the event-decode engine behind the reconstruction
+    layer (columnar by default); diagnostics are identical either way.
+    """
+    check_decode_mode(decode)
     report = report if report is not None else LintReport()
 
     # -- raw-record layer ---------------------------------------------------
+    # One column extraction up front: the scan below touches times only.
+    times = [record.time for record in records]
     mask = (1 << width_bits) - 1
     regression_floor = 1 << (width_bits - 1)
     previous: Optional[int] = None
     over_width = False
-    for index, record in enumerate(records):
-        if record.time > mask:
+    for index, time in enumerate(times):
+        if time > mask:
             over_width = True
             report.add(
                 "P202",
-                f"record time {record.time} exceeds the {width_bits}-bit "
+                f"record time {time} exceeds the {width_bits}-bit "
                 "counter",
                 source=source,
                 index=index,
             )
         elif previous is not None:
-            delta = (record.time - previous) & mask
+            delta = (time - previous) & mask
             if delta >= regression_floor:
                 report.add(
                     "P202",
                     f"timer regressed by {mask + 1 - delta} us between "
                     f"records {index - 1} and {index} (counter snapshots "
-                    f"{previous} -> {record.time}); latched time is "
+                    f"{previous} -> {time}); latched time is "
                     "corrupt or records were reordered",
                     source=source,
                     index=index,
                 )
-        previous = record.time
+        previous = time
 
     if ram_depth is not None and len(records) >= ram_depth:
         report.add(
@@ -136,7 +144,7 @@ def lint_records(
         # hardware; the P202s above already say everything reconstruction
         # could.
         return report
-    events = decode_records(records, names, width_bits=width_bits)
+    events = decode_records(records, names, width_bits=width_bits, decode=decode)
     analysis = build_call_tree(events)
     desyncs = 0
     for anomaly in analysis.anomalies:
@@ -202,6 +210,7 @@ def verify_capture(
     source: str = "<capture>",
     ram_depth: Optional[int] = None,
     report: Optional[LintReport] = None,
+    decode: str = DEFAULT_DECODE,
 ) -> LintReport:
     """Verify a loaded :class:`Capture` (records + names in one object)."""
     return lint_records(
@@ -211,6 +220,7 @@ def verify_capture(
         width_bits=capture.counter_width_bits,
         ram_depth=ram_depth,
         report=report,
+        decode=decode,
     )
 
 

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 from repro.profiler.hardware import ProfilerBoard
 from repro.profiler.ram import RawRecord
 from repro.profiler.upload import (
+    DEFAULT_DECODE,
     CaptureDefect,
     CaptureMetadataWarning,
     read_capture,
@@ -77,6 +78,7 @@ class Capture:
         label: str = "",
         *,
         salvage: bool = False,
+        decode: str = DEFAULT_DECODE,
     ) -> "Capture":
         """Re-read a saved capture, pairing it with *names*.
 
@@ -85,15 +87,17 @@ class Capture:
         a :class:`CaptureMetadataWarning` says so.  With ``salvage=True``
         a damaged file is decoded fault-tolerantly instead of raising:
         every recoverable record is kept and the tolerated faults land in
-        :attr:`Capture.defects`.
+        :attr:`Capture.defects`.  ``decode`` selects the record-decode
+        engine (columnar by default; ``"reference"`` is the per-record
+        walker) — the records are identical either way.
         """
         defects: tuple[CaptureDefect, ...] = ()
         if salvage:
-            result = salvage_capture(path)
+            result = salvage_capture(path, decode=decode)
             records, meta = result.records, result.meta
             defects = tuple(result.defects)
         else:
-            records, meta = read_capture(path)
+            records, meta = read_capture(path, decode=decode)
         if meta.version == 1:
             warnings.warn(
                 f"{path}: MPF1 carries no capture metadata; counter "

@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.analysis.columnar import unwrap_times
 from repro.analysis.events import (
     EventKind,
     decode_capture,
     decode_records,
     reconstruct_times,
 )
+from repro.profiler.capture import Capture
 from repro.profiler.ram import RawRecord
+from repro.profiler.upload import read_capture_meta
 
 from stream_helpers import make_names, stream
 
@@ -99,3 +104,80 @@ class TestDecode:
             simple_names, (">", "main", 0), (">", "read", 1), ("<", "read", 2)
         )
         assert [e.index for e in decode_capture(capture)] == [0, 1, 2]
+
+
+class TestCounterWidthEdges:
+    """The ``1 <= width_bits <= 24`` contract at its boundaries.
+
+    A wrong wrap mask corrupts every reconstructed interval, so both
+    decode engines validate the width wherever one enters the path —
+    and both must accept exactly the same range.
+    """
+
+    def test_width_bounds_accepted(self, simple_names):
+        records = [RawRecord(tag=0, time=0), RawRecord(tag=0, time=1)]
+        # Width 1: a one-bit counter wrapping on every alternate tick.
+        assert reconstruct_times(records, width_bits=1) == [0, 1]
+        # Width 24: the stock board, full record range.
+        assert reconstruct_times(records, width_bits=24) == [0, 1]
+        for width in (1, 24):
+            for decode in ("reference", "columnar"):
+                assert decode_records(
+                    records, simple_names, width_bits=width, decode=decode
+                )
+
+    @pytest.mark.parametrize("width_bits", [0, 25, -1])
+    def test_width_out_of_bounds_rejected(self, simple_names, width_bits):
+        records = [RawRecord(tag=0, time=0)]
+        expected = f"counter width {width_bits} outside 1..24"
+        with pytest.raises(ValueError, match=expected):
+            reconstruct_times(records, width_bits=width_bits)
+        with pytest.raises(ValueError, match=expected):
+            unwrap_times([0], width_bits)
+        for decode in ("reference", "columnar"):
+            with pytest.raises(ValueError, match=expected):
+                decode_records(
+                    records, simple_names, width_bits=width_bits, decode=decode
+                )
+
+    def test_width_one_wraps_every_tick(self):
+        """0,1,0,1 on a 1-bit counter is a strictly advancing timeline."""
+        records = [RawRecord(tag=0, time=t) for t in (0, 1, 0, 1)]
+        assert reconstruct_times(records, width_bits=1) == [0, 1, 2, 3]
+        assert unwrap_times([0, 1, 0, 1], 1) == [0, 1, 2, 3]
+
+    def test_unwrap_checked_by_default(self):
+        with pytest.raises(ValueError, match="exceeds the 16-bit counter"):
+            unwrap_times([0, 1 << 16], 16)
+
+    def test_unwrap_check_false_masks_silently(self):
+        """The shard planner's mode: over-width snapshots are masked, not
+        rejected, matching the reference scanner's arithmetic."""
+        assert unwrap_times([0, 1 << 16], 16, check=False) == [0, 0]
+        assert unwrap_times([0, (1 << 16) + 5], 16, check=False) == [0, 5]
+
+    def test_unwrap_carries_previous_and_base(self):
+        first = unwrap_times([10, 20], 24)
+        carried = unwrap_times([30], 24, previous=20, base=first[-1])
+        assert first + carried == unwrap_times([10, 20, 30], 24)
+
+    def test_overflow_flag_header_roundtrip(self, simple_names, tmp_path):
+        """An MPF2 header carrying overflow + narrow width drives decode
+        identically through both engines."""
+        capture = stream(
+            simple_names, (">", "main", 4), ("<", "main", 60_000)
+        )
+        narrowed = dataclasses.replace(
+            capture, counter_width_bits=16, overflowed=True
+        )
+        path = tmp_path / "overflow.mpf"
+        narrowed.save(path)
+        meta = read_capture_meta(path)
+        assert meta.overflowed is True
+        assert meta.counter_width_bits == 16
+        loaded = Capture.load(path, simple_names)
+        assert loaded.overflowed is True
+        assert loaded.counter_width_bits == 16
+        reference = decode_capture(loaded, decode="reference")
+        assert decode_capture(loaded, decode="columnar") == reference
+        assert [e.time_us for e in reference] == [0, 59_996]

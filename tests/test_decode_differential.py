@@ -1,0 +1,455 @@
+"""Differential tests: columnar decode against the per-record reference.
+
+Every property here generates a record stream (wrap-heavy timers,
+interrupt bursts, unknown tags, zero-length and trace-RAM-filling
+captures, MPF1 and MPF2 files) and asserts the two decode engines
+agree *exactly*: field-identical ``DecodedEvent`` sequences, identical
+shard plans, identical summary bytes (and therefore identical summary
+hashes), and identical error messages and carried accumulator state
+when a stream is malformed.
+
+Case volume is tunable: ``REPRO_DIFF_EXAMPLES`` sets the per-property
+example count (default 40, so the module runs well over 200 generated
+cases locally); CI runs a smaller derandomized subset by exporting
+``REPRO_DIFF_EXAMPLES=15`` and ``REPRO_DIFF_DERANDOMIZE=1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import columnar
+from repro.analysis.events import decode_records, iter_decoded_events
+from repro.analysis.pipeline import analyze_sharded, plan_shards
+from repro.analysis.summary import (
+    SummaryAccumulator,
+    summarize_columns,
+    summarize_records,
+)
+from repro.profiler.ram import DEFAULT_DEPTH, RawRecord
+from repro.profiler.upload import (
+    decode_record_columns,
+    dump_records,
+    iter_capture_columns,
+    iter_capture_file,
+    iter_record_columns,
+    iter_record_stream,
+    load_records,
+    write_capture_stream,
+)
+from stream_helpers import TIME_MASK, make_names
+
+DIFF_EXAMPLES = int(os.environ.get("REPRO_DIFF_EXAMPLES", "40"))
+DIFF_SETTINGS = settings(
+    max_examples=DIFF_EXAMPLES,
+    deadline=None,
+    derandomize=bool(os.environ.get("REPRO_DIFF_DERANDOMIZE")),
+)
+
+NAMES = make_names(
+    ("main", 500),
+    ("read", 502),
+    ("bcopy", 504),
+    ("cksum", 506),
+    ("ISAINTR", 508),
+    ("tsleep", 510),
+    ("swtch", 600, "!"),
+    ("MGET", 1002, "="),
+)
+
+_ENTRIES = [NAMES.by_name(n) for n in (
+    "main", "read", "bcopy", "cksum", "ISAINTR", "tsleep", "swtch", "MGET"
+)]
+KNOWN_TAGS = sorted(
+    {e.entry_value for e in _ENTRIES}
+    | {e.exit_value for e in _ENTRIES if not e.inline}
+)
+
+# Tags the table knows, plus the occasional stranger (decodes to "tag#N").
+tag_strategy = st.one_of(
+    st.sampled_from(KNOWN_TAGS),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+
+# Mostly-tight deltas with the occasional near-full-range jump: a few
+# hundred records are enough to wrap the 24-bit counter many times over.
+delta_strategy = st.one_of(
+    st.integers(min_value=0, max_value=64),
+    st.integers(min_value=0, max_value=(1 << 23) - 1),
+)
+
+
+@st.composite
+def record_streams(draw, max_records: int = 150) -> list[RawRecord]:
+    """Raw streams: arbitrary tags, monotone wrapped counter snapshots."""
+    pairs = draw(
+        st.lists(st.tuples(tag_strategy, delta_strategy), max_size=max_records)
+    )
+    t = draw(st.integers(min_value=0, max_value=TIME_MASK))
+    records = []
+    for tag, delta in pairs:
+        records.append(RawRecord(tag=tag, time=t))
+        t = (t + delta) & TIME_MASK
+    return records
+
+
+@st.composite
+def call_streams(draw, max_blocks: int = 30) -> list[RawRecord]:
+    """Call-shaped streams: scheduling blocks with nested interrupt bursts.
+
+    Each block is one quantum — ``swtch`` exit, a few call pairs (some
+    interrupted mid-flight by a burst of nested ``ISAINTR`` frames, some
+    inline ``MGET`` markers), ``swtch`` entry — so the summary state
+    machine's suspension/resolution logic gets exercised, not just the
+    raw decode.
+    """
+    blocks = draw(st.integers(min_value=0, max_value=max_blocks))
+    t = draw(st.integers(min_value=0, max_value=TIME_MASK))
+    swtch = NAMES.by_name("swtch")
+    isaintr = NAMES.by_name("ISAINTR")
+    mget = NAMES.by_name("MGET")
+    functions = [NAMES.by_name(n) for n in ("main", "read", "bcopy", "cksum")]
+    records = []
+
+    def emit(tag: int, advance: int) -> None:
+        nonlocal t
+        records.append(RawRecord(tag=tag, time=t))
+        t = (t + advance) & TIME_MASK
+
+    for _ in range(blocks):
+        emit(swtch.exit_value, draw(delta_strategy))
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            fn = draw(st.sampled_from(functions))
+            emit(fn.entry_value, draw(delta_strategy))
+            if draw(st.booleans()):
+                burst = draw(st.integers(min_value=1, max_value=4))
+                for _ in range(burst):
+                    emit(isaintr.entry_value, draw(delta_strategy))
+                if draw(st.booleans()):
+                    emit(mget.entry_value, draw(delta_strategy))
+                for _ in range(burst):
+                    emit(isaintr.exit_value, draw(delta_strategy))
+            emit(fn.exit_value, draw(delta_strategy))
+        emit(swtch.entry_value, draw(delta_strategy))
+    return records
+
+
+def _event_fields(event):
+    return (
+        event.index,
+        event.time_us,
+        event.kind,
+        event.name,
+        event.entry,
+        event.raw,
+    )
+
+
+def _summary_hash(summary) -> str:
+    return hashlib.sha256(summary.format().encode()).hexdigest()
+
+
+# -- raw-record layer --------------------------------------------------------
+
+
+class TestRecordParity:
+    @DIFF_SETTINGS
+    @given(records=record_streams())
+    def test_columnar_load_matches_reference(self, records):
+        blob = dump_records(records)
+        columns = decode_record_columns(blob)
+        assert columns.to_records() == load_records(blob)
+        assert columns.to_bytes() == blob
+        for offset in (0, len(records) // 2, len(records) - 1):
+            if 0 <= offset < len(records):
+                assert columns.record(offset) == records[offset]
+
+    @DIFF_SETTINGS
+    @given(
+        records=record_streams(),
+        chunk_records=st.integers(min_value=1, max_value=64),
+    )
+    def test_chunked_stream_matches_reference(self, records, chunk_records):
+        blob = dump_records(records)
+        reference = list(iter_record_stream(io.BytesIO(blob)))
+        batches = list(
+            iter_record_columns(io.BytesIO(blob), chunk_records=chunk_records)
+        )
+        flattened = [r for batch in batches for r in batch.to_records()]
+        assert flattened == reference
+        assert all(len(batch) <= chunk_records for batch in batches)
+
+    @DIFF_SETTINGS
+    @given(
+        records=record_streams(),
+        version=st.integers(min_value=1, max_value=2),
+        chunk_records=st.integers(min_value=1, max_value=97),
+    )
+    def test_capture_file_matches_reference(self, records, version, chunk_records):
+        """MPF1 and MPF2 files decode identically through both readers."""
+        buffer = io.BytesIO()
+        write_capture_stream(buffer, records, version=version)
+        buffer.seek(0)
+        reference = list(iter_capture_file(buffer))
+        buffer.seek(0)
+        flattened = [
+            r
+            for batch in iter_capture_columns(buffer, chunk_records=chunk_records)
+            for r in batch.to_records()
+        ]
+        assert flattened == reference
+
+
+# -- decoded-event layer -----------------------------------------------------
+
+
+class TestEventParity:
+    @DIFF_SETTINGS
+    @given(
+        records=record_streams(),
+        start_index=st.integers(min_value=0, max_value=100_000),
+        time_base_us=st.integers(min_value=0, max_value=1 << 40),
+    )
+    def test_decoded_events_field_identical(self, records, start_index, time_base_us):
+        reference = list(
+            iter_decoded_events(
+                iter(records),
+                NAMES,
+                start_index=start_index,
+                time_base_us=time_base_us,
+                decode="reference",
+            )
+        )
+        columnar_events = list(
+            iter_decoded_events(
+                iter(records),
+                NAMES,
+                start_index=start_index,
+                time_base_us=time_base_us,
+                decode="columnar",
+            )
+        )
+        assert len(columnar_events) == len(reference)
+        for got, want in zip(columnar_events, reference):
+            assert _event_fields(got) == _event_fields(want)
+
+    @DIFF_SETTINGS
+    @given(records=record_streams(max_records=80), width_bits=st.sampled_from([8, 16, 24]))
+    def test_narrow_counter_widths_agree(self, records, width_bits):
+        mask = (1 << width_bits) - 1
+        narrowed = [RawRecord(tag=r.tag, time=r.time & mask) for r in records]
+        assert decode_records(narrowed, NAMES, width_bits=width_bits, decode="columnar") == decode_records(
+            narrowed, NAMES, width_bits=width_bits, decode="reference"
+        )
+
+    def test_zero_length_capture(self):
+        assert decode_records([], NAMES, decode="columnar") == []
+        assert decode_records([], NAMES, decode="reference") == []
+        assert decode_record_columns(b"").to_records() == []
+
+    def test_chunk_boundary_wrap_carry(self):
+        """Wraps that straddle the 8192-record columnar batch boundary."""
+        records = []
+        t = 0
+        for i in range(3 * 8192 + 17):
+            # Big steps so the counter wraps inside *and* across batches.
+            t = (t + 0x31_0000 + i) & TIME_MASK
+            records.append(RawRecord(tag=KNOWN_TAGS[i % len(KNOWN_TAGS)], time=t))
+        reference = decode_records(records, NAMES, decode="reference")
+        via_columns = decode_records(records, NAMES, decode="columnar")
+        assert via_columns == reference
+        # Absolute time must climb monotonically across batch seams.
+        times = [e.time_us for e in via_columns]
+        assert times == sorted(times)
+
+    def test_max_count_capture(self):
+        """A capture that exactly fills the trace RAM (the overflow case)."""
+        records = [
+            RawRecord(tag=KNOWN_TAGS[i % len(KNOWN_TAGS)], time=(i * 37) & TIME_MASK)
+            for i in range(DEFAULT_DEPTH)
+        ]
+        assert decode_records(records, NAMES, decode="columnar") == decode_records(
+            records, NAMES, decode="reference"
+        )
+
+    @DIFF_SETTINGS
+    @given(records=record_streams(max_records=60))
+    def test_over_width_error_messages_identical(self, records):
+        """A 24-bit snapshot fed as 16-bit: same ValueError, same message."""
+        poisoned = list(records) + [RawRecord(tag=KNOWN_TAGS[0], time=0x1_0000)]
+        errors = []
+        for decode in ("reference", "columnar"):
+            with pytest.raises(ValueError) as excinfo:
+                decode_records(poisoned, NAMES, width_bits=16, decode=decode)
+            errors.append(str(excinfo.value))
+        assert errors[0] == errors[1]
+
+
+# -- summary layer -----------------------------------------------------------
+
+
+class TestSummaryParity:
+    @DIFF_SETTINGS
+    @given(
+        records=call_streams(),
+        chunk_records=st.integers(min_value=1, max_value=100),
+        include_swtch=st.booleans(),
+    )
+    def test_summary_bytes_identical(self, records, chunk_records, include_swtch):
+        reference = summarize_records(
+            iter(records), NAMES, include_swtch=include_swtch
+        )
+        batches = (
+            columnar.columns_from_records(records[i : i + chunk_records])
+            for i in range(0, len(records), chunk_records)
+        )
+        via_columns = summarize_columns(batches, NAMES, include_swtch=include_swtch)
+        assert via_columns.format() == reference.format()
+        assert _summary_hash(via_columns) == _summary_hash(reference)
+
+    @DIFF_SETTINGS
+    @given(records=record_streams())
+    def test_summary_bytes_identical_on_raw_streams(self, records):
+        """Unknown tags and unmatched exits summarise identically too."""
+        reference = summarize_records(iter(records), NAMES)
+        via_columns = summarize_columns(
+            [columnar.columns_from_records(records)], NAMES
+        )
+        assert via_columns.format() == reference.format()
+
+    @DIFF_SETTINGS
+    @given(
+        prefix=call_streams(max_blocks=6),
+        suffix=call_streams(max_blocks=6),
+        bad_offset=st.integers(min_value=0, max_value=5),
+    )
+    def test_carried_state_identical_after_mid_batch_error(
+        self, prefix, suffix, bad_offset
+    ):
+        """An over-width snapshot mid-batch leaves both accumulators in the
+        same state: after catching the (identical) error, feeding the rest
+        of the stream still produces byte-identical summaries.
+
+        The accumulators run at 16-bit width so a legal 24-bit
+        ``RawRecord`` snapshot can poison the batch.
+        """
+        mask = (1 << 16) - 1
+        prefix = [RawRecord(tag=r.tag, time=r.time & mask) for r in prefix]
+        suffix = [RawRecord(tag=r.tag, time=r.time & mask) for r in suffix]
+        poison = RawRecord(tag=KNOWN_TAGS[1], time=mask + 1)
+        bad_batch = list(prefix[: bad_offset + 3]) + [poison]
+
+        def run(feed):
+            accumulator = SummaryAccumulator(NAMES, width_bits=16)
+            feed(accumulator, prefix)
+            try:
+                feed(accumulator, bad_batch)
+            except ValueError as exc:
+                message = str(exc)
+            else:  # pragma: no cover - the poison record must raise
+                raise AssertionError("over-width record did not raise")
+            feed(accumulator, suffix)
+            return message, accumulator.summary().format()
+
+        ref_message, ref_text = run(
+            lambda acc, recs: acc.feed_records(recs)
+        )
+        col_message, col_text = run(
+            lambda acc, recs: acc.feed_columns(columnar.columns_from_records(recs))
+        )
+        assert col_message == ref_message
+        assert col_text == ref_text
+
+
+# -- shard-planner layer -----------------------------------------------------
+
+
+class TestPlannerParity:
+    @DIFF_SETTINGS
+    @given(
+        records=call_streams(),
+        max_shard_events=st.integers(min_value=4, max_value=64),
+    )
+    def test_shard_plans_identical(self, records, max_shard_events):
+        reference = plan_shards(
+            records, NAMES, max_shard_events=max_shard_events, decode="reference"
+        )
+        via_columns = plan_shards(
+            records, NAMES, max_shard_events=max_shard_events, decode="columnar"
+        )
+        assert via_columns == reference
+
+    def test_analyze_sharded_summary_identical(self):
+        records = []
+        t = 0
+        swtch = NAMES.by_name("swtch")
+        functions = [NAMES.by_name(n) for n in ("main", "read", "bcopy")]
+        for block in range(600):
+            records.append(RawRecord(tag=swtch.exit_value, time=t & TIME_MASK))
+            t += 7
+            fn = functions[block % 3]
+            records.append(RawRecord(tag=fn.entry_value, time=t & TIME_MASK))
+            t += 11
+            records.append(RawRecord(tag=fn.exit_value, time=t & TIME_MASK))
+            t += 5
+            records.append(RawRecord(tag=swtch.entry_value, time=t & TIME_MASK))
+            t += 23
+        reference = analyze_sharded(
+            records, NAMES, workers=2, max_shard_events=256, decode="reference"
+        )
+        via_columns = analyze_sharded(
+            records, NAMES, workers=2, max_shard_events=256, decode="columnar"
+        )
+        assert via_columns.summary.format() == reference.summary.format()
+        assert [p for p in via_columns.plans] == [p for p in reference.plans]
+
+
+# -- entry/exit pairing ------------------------------------------------------
+
+
+class TestPairEntryExits:
+    def test_spans_match_hand_computation(self):
+        steps = [
+            (">", "main", 0),
+            (">", "read", 10),
+            (">", "ISAINTR", 15),
+            ("<", "ISAINTR", 18),
+            ("<", "read", 30),
+            ("<", "main", 50),
+            (">", "bcopy", 60),  # never exits: no span
+        ]
+        records = []
+        for op, name, time_us in steps:
+            entry = NAMES.by_name(name)
+            tag = entry.entry_value if op == ">" else entry.exit_value
+            records.append(RawRecord(tag=tag, time=time_us))
+        events = columnar.decode_columns(
+            columnar.columns_from_records(records), NAMES
+        )
+        spans = columnar.pair_entry_exits(events)
+        assert [(s.name, s.entry_index, s.exit_index, s.elapsed_us) for s in spans] == [
+            ("ISAINTR", 2, 3, 3),
+            ("read", 1, 4, 20),
+            ("main", 0, 5, 50),
+        ]
+
+    @DIFF_SETTINGS
+    @given(records=call_streams())
+    def test_spans_are_consistent_with_events(self, records):
+        events = columnar.decode_columns(
+            columnar.columns_from_records(records), NAMES
+        )
+        for span in columnar.pair_entry_exits(events):
+            assert events.codes[span.entry_index] == columnar.CODE_ENTRY
+            assert events.codes[span.exit_index] == columnar.CODE_EXIT
+            assert events.names[span.entry_index] == span.name
+            assert events.names[span.exit_index] == span.name
+            assert span.elapsed_us == (
+                events.times[span.exit_index] - events.times[span.entry_index]
+            )
+            assert span.elapsed_us >= 0

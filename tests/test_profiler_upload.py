@@ -10,12 +10,18 @@ from hypothesis import given, strategies as st
 from repro.profiler.ram import RawRecord, TraceRam
 from repro.profiler.upload import (
     MAGIC,
+    CaptureFormatError,
     EpromReadback,
+    decode_record_columns,
     dump_records,
+    iter_capture_columns,
     iter_capture_file,
+    iter_record_columns,
     iter_record_stream,
     load_records,
+    read_capture,
     read_capture_file,
+    read_capture_meta,
     write_capture_file,
     write_capture_stream,
 )
@@ -193,3 +199,129 @@ class TestStreamingCaptureIO:
         batch = io.BytesIO()
         write_capture_file(batch, records)
         assert streamed.getvalue() == batch.getvalue()
+
+
+class _NonSeekable(io.RawIOBase):
+    """A pipe-like stream: readable, never seekable."""
+
+    def __init__(self, blob: bytes) -> None:
+        self._inner = io.BytesIO(blob)
+
+    def readable(self) -> bool:
+        return True
+
+    def seekable(self) -> bool:
+        return False
+
+    def readinto(self, buffer):
+        blob = self._inner.read(len(buffer))
+        buffer[: len(blob)] = blob
+        return len(blob)
+
+
+class TestCaptureFormatErrorContract:
+    """The one documented exception type for capture *content* faults.
+
+    Every reader — batch, per-record streaming, columnar streaming,
+    header probe — raises :class:`CaptureFormatError` (a
+    :class:`ValueError` subclass, so old callers keep working) with the
+    same message for the same fault, seekable or not.
+    """
+
+    def _v2_file(self, records) -> bytes:
+        buffer = io.BytesIO()
+        write_capture_stream(buffer, records, version=2)
+        return buffer.getvalue()
+
+    def test_is_a_value_error(self):
+        assert issubclass(CaptureFormatError, ValueError)
+
+    def test_short_magic_reported_as_truncation_not_bad_magic(self):
+        """A 2-byte file is a *truncated* file, not a magic mismatch."""
+        for reader in (
+            lambda s: read_capture_meta(s),
+            lambda s: read_capture(s),
+            lambda s: list(iter_capture_file(s)),
+            lambda s: list(iter_capture_columns(s)),
+        ):
+            with pytest.raises(CaptureFormatError) as excinfo:
+                reader(io.BytesIO(b"MP"))
+            message = str(excinfo.value)
+            assert "truncated" in message
+            assert "2 byte(s)" in message
+            assert "magic)" not in message  # not the bad-magic wording
+
+    def test_readers_agree_on_fault_messages(self):
+        """Same fault, same message, whichever reader hits it."""
+        records = [RawRecord(tag=1, time=2), RawRecord(tag=3, time=4)]
+        good = self._v2_file(records)
+        faults = {
+            "bad-magic": b"NOPE" + good[4:],
+            "count-lie": good[:6] + (9).to_bytes(4, "big") + good[10:],
+            "crc-flip": good[:-1] + bytes([good[-1] ^ 0x01]),
+        }
+        for fault, blob in faults.items():
+            messages = set()
+            for reader in (
+                lambda s: read_capture(s),
+                lambda s: list(iter_capture_file(s)),
+                lambda s: list(iter_capture_columns(s)),
+            ):
+                with pytest.raises(CaptureFormatError) as excinfo:
+                    reader(io.BytesIO(blob))
+                messages.add(str(excinfo.value))
+            assert len(messages) == 1, f"{fault}: {messages}"
+
+    def test_trailing_garbage_raises_everywhere(self):
+        """Trailing partial-record bytes: one exception type from every
+        reader.  The streaming readers agree on wording; the batch reader
+        sees the whole ragged payload at once and says so."""
+        blob = self._v2_file([RawRecord(tag=1, time=2)]) + b"\x00\x00"
+        streaming_messages = set()
+        for reader in (
+            lambda s: list(iter_capture_file(s)),
+            lambda s: list(iter_capture_columns(s)),
+        ):
+            with pytest.raises(CaptureFormatError, match="partial") as excinfo:
+                reader(io.BytesIO(blob))
+            streaming_messages.add(str(excinfo.value))
+        assert len(streaming_messages) == 1
+        with pytest.raises(CaptureFormatError, match="not a multiple"):
+            read_capture(io.BytesIO(blob))
+
+    def test_ragged_stream_raises_in_both_record_decoders(self):
+        blob = b"\x00" * 7
+        with pytest.raises(CaptureFormatError, match="not a multiple"):
+            load_records(blob)
+        with pytest.raises(CaptureFormatError, match="not a multiple"):
+            decode_record_columns(blob)
+
+    def test_iter_record_columns_rejects_trailing_partial(self):
+        blob = dump_records([RawRecord(tag=1, time=2)]) + b"\x00\x00"
+        with pytest.raises(CaptureFormatError, match="partial"):
+            list(iter_record_columns(io.BytesIO(blob)))
+
+    def test_meta_probe_restores_seekable_position(self):
+        records = [RawRecord(tag=i, time=i * 3) for i in range(7)]
+        stream = io.BytesIO(self._v2_file(records))
+        meta = read_capture_meta(stream)
+        assert meta.count == 7
+        assert stream.tell() == 0
+        # The probe composes with a subsequent full read.
+        assert list(iter_capture_file(stream)) == records
+
+    def test_meta_probe_leaves_non_seekable_at_first_record(self):
+        records = [RawRecord(tag=i, time=i * 3) for i in range(7)]
+        stream = io.BufferedReader(_NonSeekable(self._v2_file(records)))
+        meta = read_capture_meta(stream)
+        assert meta.count == 7
+        # Documented contract: a pipe is positioned at the record bytes.
+        assert list(iter_record_stream(stream)) == records
+
+    def test_meta_probe_same_error_seekable_or_not(self):
+        damaged = b"MP"
+        with pytest.raises(CaptureFormatError) as seekable_err:
+            read_capture_meta(io.BytesIO(damaged))
+        with pytest.raises(CaptureFormatError) as pipe_err:
+            read_capture_meta(io.BufferedReader(_NonSeekable(damaged)))
+        assert str(seekable_err.value) == str(pipe_err.value)
