@@ -12,6 +12,8 @@ Usage examples::
     python -m repro analyze big.mpf --names run.tags --shards 4 \
         --telemetry run.pipeline.jsonl
     python -m repro capture doctor damaged.mpf -o repaired.mpf
+    python -m repro fleet ingest captures/ --names run.tags --jobs 4 --salvage
+    python -m repro fleet serve inbox/ --names run.tags --jobs 2 --poll 2
     python -m repro trace export run.mpf --names run.tags -o run.trace.json
     python -m repro lint run.mpf --names run.tags --json
     python -m repro lint --kernel-ast
@@ -58,9 +60,9 @@ from repro.profiler.ram import DEFAULT_DEPTH
 from repro.profiler.upload import (
     DECODE_MODES,
     DEFAULT_DECODE,
+    cached_capture_meta,
     iter_capture_columns,
     iter_capture_file,
-    read_capture_meta,
     salvage_capture,
     write_capture_file,
 )
@@ -247,7 +249,7 @@ def _stream_total(path) -> Optional[int]:
     itself will raise the real, well-worded error moments later.
     """
     try:
-        return read_capture_meta(path).count or None
+        return cached_capture_meta(path).count or None
     except (OSError, ValueError):
         return None
 
@@ -502,6 +504,105 @@ def cmd_trace_export(args: argparse.Namespace, out: Callable) -> int:
     return 0
 
 
+def cmd_fleet_ingest(args: argparse.Namespace, out: Callable) -> int:
+    """``repro fleet ingest DIR``: one-shot parallel corpus ingestion.
+
+    Exit codes: 0 — every capture ingested; 1 — at least one capture
+    failed (the rest still merged); 2 — the root is unusable or the
+    plan is empty.  Everything on stdout is deterministic — worker
+    counts, rates and timing go to stderr — so two runs with different
+    ``--jobs`` diff clean, which is exactly what the CI smoke job does.
+    """
+    from repro.fleet import FleetError, format_fleet_summary, ingest_fleet, plan_fleet
+    from repro.lint import LintReport
+    from repro.lint.fleet_lint import lint_fleet_plan, lint_fleet_result
+
+    _telemetry_begin(args)
+    try:
+        names = NameTable.read(*args.names)
+        try:
+            plan = plan_fleet(args.root)
+        except FleetError as exc:
+            report = LintReport()
+            report.add("P506", str(exc), source=str(args.root))
+            out(render_text(report))
+            return 2
+        plan_report = lint_fleet_plan(plan)
+        for diagnostic in plan_report:
+            out(diagnostic.format())
+        if not len(plan):
+            return 2
+        progress = _make_progress(args, len(plan), label="fleet")
+        try:
+            result = ingest_fleet(
+                plan,
+                names,
+                jobs=args.jobs,
+                decode=args.decode,
+                salvage="auto" if args.salvage else "off",
+                progress=progress.update,
+            )
+        except FleetError as exc:
+            raise SystemExit(str(exc)) from None
+        finally:
+            progress.finish()
+        result_report = lint_fleet_result(result)
+        for diagnostic in result_report:
+            out(diagnostic.format())
+        out(format_fleet_summary(result, limit=args.summary_limit))
+        if args.manifest:
+            Path(args.manifest).write_text(
+                json.dumps(result.manifest(timings=args.timings), indent=1)
+                + "\n"
+            )
+            # Stderr, like every operational line: stdout stays a pure
+            # function of the corpus so --jobs runs diff byte-clean.
+            print(f"manifest written to {args.manifest}", file=sys.stderr)
+        rate = (
+            f", {len(plan) / result.elapsed_s:.1f} captures/s"
+            if result.elapsed_s > 0
+            else ""
+        )
+        print(
+            f"fleet ingest: {result.jobs} worker(s), "
+            f"{result.elapsed_s:.2f}s{rate}",
+            file=sys.stderr,
+        )
+        return 1 if result.failed else 0
+    finally:
+        _telemetry_end(args)
+
+
+def cmd_fleet_serve(args: argparse.Namespace, out: Callable) -> int:
+    """``repro fleet serve DIR``: watch an inbox, publish /metrics.
+
+    Runs until SIGINT/SIGTERM (or ``--max-polls``); on the way out the
+    in-flight capture drains, the shared-memory arena flushes into the
+    telemetry registry, the final merged summary prints to stdout, and
+    the exit code is 0.
+    """
+    from repro.fleet import FleetError, FleetServer
+
+    try:
+        names = NameTable.read(*args.names)
+        server = FleetServer(
+            args.root,
+            names,
+            jobs=args.jobs,
+            decode=args.decode,
+            salvage="auto" if args.salvage else "off",
+            port=args.port,
+            poll_s=args.poll,
+            max_polls=args.max_polls,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+    except (FleetError, OSError) as exc:
+        raise SystemExit(str(exc)) from None
+    code = server.run()
+    out(server.final_summary(limit=args.summary_limit))
+    return code
+
+
 def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
     for name, description in WORKLOADS.items():
         out(f"  {name:<12} {description}")
@@ -693,6 +794,89 @@ def build_parser() -> argparse.ArgumentParser:
         "no other artifacts are given)",
     )
     lint.set_defaults(func=cmd_lint)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="ingest a directory of captures as one corpus",
+        description="Fleet-scale ingestion: decode and summarise every "
+        "capture under a directory on a multiprocessing worker pool, "
+        "merge the results deterministically, and expose live metrics "
+        "through a shared-memory arena.",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def _fleet_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("root", help="directory of capture files")
+        sub_parser.add_argument(
+            "--names", action="append", required=True,
+            help="name/tag file(s) to decode with (repeatable, concatenated)",
+        )
+        sub_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes (default: the machine's CPU count)",
+        )
+        sub_parser.add_argument(
+            "--decode", choices=DECODE_MODES, default=DEFAULT_DECODE,
+            help="record-decode engine for the salvage path (the clean "
+            "path is always columnar)",
+        )
+        sub_parser.add_argument(
+            "--salvage", action="store_true",
+            help="route damaged captures through the salvaging decoder "
+            "instead of failing them",
+        )
+        sub_parser.add_argument("--summary-limit", type=int, default=12)
+
+    fleet_ingest = fleet_sub.add_parser(
+        "ingest",
+        help="one-shot: ingest every capture under DIR and print the "
+        "merged summary",
+        description="Plan the corpus (path-sorted, header-probed through "
+        "the (path, mtime, size) cache), decode each capture on the "
+        "columnar path across --jobs workers, and fold the per-capture "
+        "summaries in plan order — the merged report is byte-identical "
+        "for every worker count.  Exit codes: 0 all ingested, 1 some "
+        "captures failed, 2 unusable root or empty plan.",
+    )
+    _fleet_common(fleet_ingest)
+    fleet_ingest.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write the per-capture JSON manifest here",
+    )
+    fleet_ingest.add_argument(
+        "--timings", action="store_true",
+        help="include per-capture worker wall time in the manifest "
+        "(nondeterministic; off by default so manifests diff clean)",
+    )
+    _add_telemetry_flags(fleet_ingest)
+    fleet_ingest.set_defaults(func=cmd_fleet_ingest)
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve",
+        help="long-running: watch DIR as an inbox and publish Prometheus "
+        "metrics over HTTP",
+        description="Poll DIR for new or changed capture files, ingest "
+        "them as they appear, and serve the shared-memory metrics at "
+        "http://127.0.0.1:PORT/metrics.  SIGINT/SIGTERM drains the "
+        "in-flight capture, flushes the arena, prints the final merged "
+        "summary to stdout and exits 0.",
+    )
+    _fleet_common(fleet_serve)
+    fleet_serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="metrics HTTP port (default 0: pick an ephemeral port and "
+        "print it to stderr)",
+    )
+    fleet_serve.add_argument(
+        "--poll", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between inbox rescans (default 1.0)",
+    )
+    fleet_serve.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="exit after N polls (CI smoke runs; default: run until "
+        "signalled)",
+    )
+    fleet_serve.set_defaults(func=cmd_fleet_serve)
 
     workloads = sub.add_parser("workloads", help="list available workloads")
     workloads.set_defaults(func=cmd_workloads)

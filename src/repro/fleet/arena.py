@@ -1,0 +1,328 @@
+"""Shared-memory metrics arena: cross-process counters and histograms.
+
+The fleet ingestion engine forks workers, and forked processes cannot
+share the in-process telemetry registry — each child would mutate its own
+copy-on-write copy and the parent would see nothing.  The arena is the
+bridge, in the ``mpmetrics`` idiom (SNIPPETS Snippet 2): every metric
+lives in one mmap-backed shared-memory block (``/dev/shm`` via
+:class:`multiprocessing.shared_memory.SharedMemory`) that the parent
+creates before the pool starts and every worker attaches to by name, so
+an increment in a child is immediately visible to the parent's exporter.
+
+Lock-freedom comes from **striping**, not atomics: the arena holds one
+stripe of every instrument per worker slot, each worker writes only its
+own stripe (plain 8-byte stores at fixed offsets), and readers sum
+across stripes.  Single-writer-per-cell means no locks, no torn
+read-modify-write races, and no cross-core cacheline ping-pong on the
+hot path.  Reads while workers are mid-store are eventually consistent —
+fine for a live ``/metrics`` scrape; the post-join snapshot is exact.
+
+Layout (all fields 8 bytes, native-endian, offset-addressed)::
+
+    counters    [counter_index][stripe]                    u64
+    histograms  [hist_index][stripe]{bucket..., count, sum}  u64... u64 f64
+
+Histogram bucket counts are *cumulative* in the Prometheus style, the
+same convention :class:`repro.telemetry.metrics.Histogram` keeps, so the
+parent can pour stripe sums straight into the registry with
+:meth:`~repro.telemetry.metrics.Histogram.load`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.metrics import MetricRegistry
+
+_U64 = struct.Struct("=Q")
+_F64 = struct.Struct("=d")
+_SLOT = 8
+
+
+class ArenaError(RuntimeError):
+    """The arena was laid out or used inconsistently."""
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramLayout:
+    """One histogram family's geometry inside the arena."""
+
+    name: str
+    buckets: Tuple[float, ...]
+
+    @property
+    def slots(self) -> int:
+        # bucket counts + count + sum, per stripe.
+        return len(self.buckets) + 2
+
+
+class StripeWriter:
+    """One worker's write handle: its stripe of every instrument.
+
+    All offsets are resolved at construction; :meth:`count` and
+    :meth:`observe` are straight-line stores into the shared buffer.
+    The single-writer contract is the caller's: exactly one process
+    writes through any given stripe at a time.
+    """
+
+    __slots__ = ("_buf", "_counter_at", "_hist_at", "_hist_buckets", "stripe")
+
+    def __init__(self, arena: "MetricsArena", stripe: int) -> None:
+        if not (0 <= stripe < arena.stripes):
+            raise ArenaError(
+                f"stripe {stripe} outside the arena's 0..{arena.stripes - 1}"
+            )
+        self.stripe = stripe
+        self._buf = arena._shm.buf
+        self._counter_at = {
+            name: arena._counter_offset(i, stripe)
+            for i, name in enumerate(arena.counters)
+        }
+        self._hist_at = {
+            layout.name: arena._hist_offset(i, stripe)
+            for i, layout in enumerate(arena.histograms)
+        }
+        self._hist_buckets = {
+            layout.name: layout.buckets for layout in arena.histograms
+        }
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* in this stripe."""
+        offset = self._counter_at[name]
+        buf = self._buf
+        _U64.pack_into(buf, offset, _U64.unpack_from(buf, offset)[0] + amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one observation into histogram *name* in this stripe."""
+        base = self._hist_at[name]
+        buckets = self._hist_buckets[name]
+        buf = self._buf
+        offset = base
+        for bound in buckets:
+            if value <= bound:
+                _U64.pack_into(
+                    buf, offset, _U64.unpack_from(buf, offset)[0] + 1
+                )
+            offset += _SLOT
+        _U64.pack_into(buf, offset, _U64.unpack_from(buf, offset)[0] + 1)
+        offset += _SLOT
+        _F64.pack_into(buf, offset, _F64.unpack_from(buf, offset)[0] + value)
+
+
+class MetricsArena:
+    """A fixed catalog of striped counters/histograms in shared memory.
+
+    Create in the parent (:meth:`create`), hand to workers by pickling —
+    unpickling attaches to the same block by name — and sum the stripes
+    back with :meth:`counter_total` / :meth:`histogram_total` or pour
+    everything into the telemetry registry with :meth:`publish_into`.
+    The creator owns the block's lifetime: :meth:`close` detaches,
+    :meth:`unlink` (creator only) frees the shared segment.
+    """
+
+    def __init__(
+        self,
+        counters: Sequence[str],
+        histograms: Sequence[Tuple[str, Sequence[float]]],
+        stripes: int,
+        *,
+        _attach_name: Optional[str] = None,
+    ) -> None:
+        if stripes < 1:
+            raise ArenaError(f"arena needs at least one stripe, got {stripes}")
+        self.counters: Tuple[str, ...] = tuple(counters)
+        self.histograms: Tuple[HistogramLayout, ...] = tuple(
+            HistogramLayout(name, tuple(sorted(buckets)))
+            for name, buckets in histograms
+        )
+        seen: set[str] = set()
+        for name in (*self.counters, *(h.name for h in self.histograms)):
+            if name in seen:
+                raise ArenaError(f"duplicate arena metric name {name!r}")
+            seen.add(name)
+        for layout in self.histograms:
+            if not layout.buckets:
+                raise ArenaError(f"histogram {layout.name!r} needs buckets")
+        self.stripes = stripes
+        self._counter_base = 0
+        counter_bytes = len(self.counters) * stripes * _SLOT
+        self._hist_base = counter_bytes
+        self._hist_starts: list[int] = []
+        offset = self._hist_base
+        for layout in self.histograms:
+            self._hist_starts.append(offset)
+            offset += layout.slots * stripes * _SLOT
+        self._size = max(offset, _SLOT)
+        self._owner = _attach_name is None
+        if self._owner:
+            self._shm = shared_memory.SharedMemory(create=True, size=self._size)
+            # SharedMemory may round up to a page; zero only our span.
+            self._shm.buf[: self._size] = bytes(self._size)
+        else:
+            self._shm = shared_memory.SharedMemory(name=_attach_name)
+            if self._shm.size < self._size:
+                self._shm.close()
+                raise ArenaError(
+                    f"shared block {_attach_name!r} holds {self._shm.size} "
+                    f"bytes; this catalog needs {self._size}"
+                )
+        #: Last counter totals handed to publish_into (delta tracking).
+        self._published: Dict[str, int] = {}
+
+    # -- construction / transport ---------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        counters: Sequence[str],
+        histograms: Sequence[Tuple[str, Sequence[float]]],
+        stripes: int,
+    ) -> "MetricsArena":
+        """Create a new zeroed arena (the parent side)."""
+        return cls(counters, histograms, stripes)
+
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        counters: Sequence[str],
+        histograms: Sequence[Tuple[str, Sequence[float]]],
+        stripes: int,
+    ) -> "MetricsArena":
+        """Attach to an existing arena by shared-memory name (worker side)."""
+        return cls(counters, histograms, stripes, _attach_name=name)
+
+    @property
+    def name(self) -> str:
+        """The shared-memory block's system-wide name."""
+        return self._shm.name
+
+    def __reduce__(self):
+        # Pickling an arena ships its *identity*, not its bytes: the
+        # unpickled copy attaches to the same shared block, which is what
+        # lets the pool initializer receive the parent's arena directly.
+        return (
+            MetricsArena.attach,
+            (
+                self.name,
+                self.counters,
+                tuple((h.name, h.buckets) for h in self.histograms),
+                self.stripes,
+            ),
+        )
+
+    # -- geometry --------------------------------------------------------------
+
+    def _counter_offset(self, index: int, stripe: int) -> int:
+        return self._counter_base + (index * self.stripes + stripe) * _SLOT
+
+    def _hist_offset(self, index: int, stripe: int) -> int:
+        layout = self.histograms[index]
+        return self._hist_starts[index] + stripe * layout.slots * _SLOT
+
+    # -- writing ---------------------------------------------------------------
+
+    def writer(self, stripe: int) -> StripeWriter:
+        """The write handle for one stripe (one per worker process)."""
+        return StripeWriter(self, stripe)
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        """Sum of counter *name* across every stripe."""
+        index = self.counters.index(name)
+        buf = self._shm.buf
+        return sum(
+            _U64.unpack_from(buf, self._counter_offset(index, s))[0]
+            for s in range(self.stripes)
+        )
+
+    def histogram_total(self, name: str) -> Tuple[Tuple[int, ...], int, float]:
+        """``(cumulative bucket counts, count, sum)`` across every stripe."""
+        index = next(
+            i for i, h in enumerate(self.histograms) if h.name == name
+        )
+        layout = self.histograms[index]
+        buf = self._shm.buf
+        buckets = [0] * len(layout.buckets)
+        count = 0
+        total = 0.0
+        for stripe in range(self.stripes):
+            offset = self._hist_offset(index, stripe)
+            for b in range(len(layout.buckets)):
+                buckets[b] += _U64.unpack_from(buf, offset)[0]
+                offset += _SLOT
+            count += _U64.unpack_from(buf, offset)[0]
+            offset += _SLOT
+            total += _F64.unpack_from(buf, offset)[0]
+        return tuple(buckets), count, total
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data totals of everything in the arena."""
+        return {
+            "counters": {
+                name: self.counter_total(name) for name in self.counters
+            },
+            "histograms": {
+                layout.name: {
+                    "buckets": dict(
+                        zip(
+                            layout.buckets,
+                            self.histogram_total(layout.name)[0],
+                        )
+                    ),
+                    "count": self.histogram_total(layout.name)[1],
+                    "sum": self.histogram_total(layout.name)[2],
+                }
+                for layout in self.histograms
+            },
+        }
+
+    def publish_into(
+        self, telemetry: Telemetry, registry: Optional[MetricRegistry] = None
+    ) -> None:
+        """Pour current totals into a telemetry registry.
+
+        Counters are published as *deltas* since the last publish (the
+        registry counter stays monotonic across repeated scrapes);
+        histograms load the absolute cumulative totals.  Publishing
+        respects the telemetry enable switch the way every probe does.
+        """
+        if not telemetry.enabled:
+            return
+        target = registry if registry is not None else telemetry.registry
+        for name in self.counters:
+            total = self.counter_total(name)
+            delta = total - self._published.get(name, 0)
+            # Register unconditionally so a zero counter still shows on
+            # the scrape — the catalog is stable, not value-dependent.
+            counter = target.counter(name)
+            if delta:
+                counter.inc(delta)
+            self._published[name] = total
+        for layout in self.histograms:
+            buckets, count, total_sum = self.histogram_total(layout.name)
+            instrument = target.histogram(layout.name, buckets=layout.buckets)
+            instrument.load(buckets, count, total_sum)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach this process's mapping (the block may live on)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the shared block (creator only; call after close)."""
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "MetricsArena":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+        self.unlink()

@@ -14,7 +14,9 @@ properties *statically*, before (or instead of) a run:
 4. :mod:`repro.lint.link_lint` — ``_ProfileBase`` resolution against the
    live bus map;
 5. :mod:`repro.lint.telemetry_lint` — the profiler's own telemetry
-   (unclosed spans, metric-name collisions).
+   (unclosed spans, metric-name collisions);
+6. :mod:`repro.lint.fleet_lint` — fleet ingestion plans and results
+   (empty corpora, failed captures, mixed counter geometries).
 
 Every finding is a :class:`~repro.lint.diagnostics.Diagnostic` with a
 stable ``P0xx``-style code and a severity; :mod:`repro.lint.runner`
@@ -31,6 +33,7 @@ from repro.lint.diagnostics import (
     Severity,
 )
 from repro.lint.ast_lint import lint_kernel_source, lint_source_text
+from repro.lint.fleet_lint import lint_fleet_plan, lint_fleet_result
 from repro.lint.link_lint import lint_layout, lint_link
 from repro.lint.namefile_lint import (
     lint_name_file_text,
@@ -62,6 +65,8 @@ __all__ = [
     "Severity",
     "lint_capture_defects",
     "lint_capture_file",
+    "lint_fleet_plan",
+    "lint_fleet_result",
     "lint_kernel_source",
     "lint_layout",
     "lint_link",

@@ -3,8 +3,9 @@
 Codes are stable API: scripts grep for them, tests assert them, and the
 JSON reporter emits them verbatim.  The numbering mirrors the pass
 structure — ``P0xx`` name/tag file, ``P1xx`` kernel source, ``P2xx``
-capture stream, ``P3xx`` link/bus, ``P4xx`` telemetry — so a code alone
-tells you which stage of the tag→trigger→capture chain is broken.
+capture stream, ``P3xx`` link/bus, ``P4xx`` telemetry, ``P5xx`` fleet
+ingestion — so a code alone tells you which stage of the
+tag→trigger→capture chain is broken.
 """
 
 from __future__ import annotations
@@ -71,6 +72,13 @@ CODE_TABLE: dict[str, tuple[Severity, str]] = {
     "P402": (Severity.ERROR, "metric name registered in more than one registry"),
     "P403": (Severity.WARNING, "metric names collide after Prometheus sanitisation"),
     "P404": (Severity.WARNING, "telemetry span records dropped (buffer full)"),
+    # -- P5xx: fleet ingestion -----------------------------------------------
+    "P501": (Severity.WARNING, "fleet plan matched no capture files"),
+    "P502": (Severity.ERROR, "capture failed to ingest (nothing recoverable)"),
+    "P503": (Severity.WARNING, "fleet mixes counter geometries across captures"),
+    "P504": (Severity.WARNING, "capture label duplicated across the fleet"),
+    "P505": (Severity.INFO, "capture auto-salvaged during fleet ingest"),
+    "P506": (Severity.ERROR, "fleet root missing or not a directory"),
 }
 
 

@@ -1,0 +1,94 @@
+"""P5xx: fleet-ingestion diagnostics.
+
+Two entry points, matching the fleet engine's two phases:
+
+* :func:`lint_fleet_plan` runs *before* ingestion — is the root a
+  directory, did the sweep find anything, do the header probes agree on
+  counter geometry, are capture labels unique enough to tell apart in a
+  merged report.
+* :func:`lint_fleet_result` runs *after* — every failed capture is a
+  P502 error (the CLI's exit-1 condition), every auto-salvage a P505
+  info line so a clean-looking merged summary still discloses which
+  inputs needed the doctor.
+
+Like every proflint pass these are pure functions from data to a
+:class:`~repro.lint.diagnostics.LintReport`; the CLI decides what to do
+with the severities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.fleet.ingest import FleetPlan, FleetResult
+from repro.lint.diagnostics import LintReport
+
+
+def lint_fleet_plan(plan: FleetPlan) -> LintReport:
+    """Pre-ingest checks over a fleet plan's header probes."""
+    report = LintReport()
+    if not len(plan):
+        report.add(
+            "P501",
+            f"no capture files matched under {plan.root}",
+            source=plan.root,
+        )
+        return report
+    geometries = Counter(
+        (c.meta.counter_width_bits, c.meta.counter_rate_hz)
+        for c in plan.captures
+        if c.meta is not None
+    )
+    if len(geometries) > 1:
+        majority, _ = geometries.most_common(1)[0]
+        for capture in plan.captures:
+            if capture.meta is None:
+                continue
+            geometry = (
+                capture.meta.counter_width_bits,
+                capture.meta.counter_rate_hz,
+            )
+            if geometry != majority:
+                report.add(
+                    "P503",
+                    f"counter geometry {geometry[0]}-bit @ {geometry[1]} Hz "
+                    f"differs from the fleet majority {majority[0]}-bit @ "
+                    f"{majority[1]} Hz — merged times span boards",
+                    source=capture.path,
+                    index=capture.index,
+                )
+    labels = Counter(
+        c.meta.label for c in plan.captures
+        if c.meta is not None and c.meta.label
+    )
+    for label, occurrences in sorted(labels.items()):
+        if occurrences > 1:
+            report.add(
+                "P504",
+                f"label {label!r} names {occurrences} captures; manifest "
+                f"rows need the path to disambiguate",
+                source=plan.root,
+            )
+    return report
+
+
+def lint_fleet_result(result: FleetResult) -> LintReport:
+    """Post-ingest checks over per-capture reports."""
+    report = LintReport()
+    for capture in result.reports:
+        if not capture.ok:
+            report.add(
+                "P502",
+                f"ingest failed: {capture.error or 'no records recovered'}",
+                source=capture.path,
+                index=capture.index,
+            )
+        elif capture.status == "salvaged":
+            report.add(
+                "P505",
+                f"salvaged {capture.records} record(s) around "
+                f"{capture.defects} defect(s)",
+                source=capture.path,
+                index=capture.index,
+            )
+    return report

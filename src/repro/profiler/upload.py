@@ -50,10 +50,13 @@ Both produce bit-identical records (``tests/test_decode_differential.py``).
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import dataclasses
 import io
+import os
 import sys
+import threading
 import warnings
 import zlib
 from array import array
@@ -640,6 +643,67 @@ def read_capture_meta(path_or_file: Union[str, Path, BinaryIO]) -> CaptureMeta:
         finally:
             if restore is not None:
                 stream.seek(restore)
+
+
+# -- the header-probe cache --------------------------------------------------
+#
+# Fleet-scale ingestion probes the same headers over and over: the planner
+# reads every header to order the corpus, the decode stage reads it again
+# for the counter geometry, and a serve-mode rescan probes the whole inbox
+# each poll.  A header never changes without the file changing, so a tiny
+# (mtime_ns, size)-validated cache turns thousands of re-probes into one
+# stat() each.
+
+#: Maximum entries the header-probe cache retains (LRU beyond this).
+META_CACHE_SIZE = 4096
+
+_meta_cache: "collections.OrderedDict[str, tuple[tuple[int, int], CaptureMeta]]" = (
+    collections.OrderedDict()
+)
+_meta_cache_lock = threading.Lock()
+
+
+def clear_meta_cache() -> None:
+    """Drop every cached header probe (test isolation)."""
+    with _meta_cache_lock:
+        _meta_cache.clear()
+
+
+def cached_capture_meta(path: Union[str, Path]) -> CaptureMeta:
+    """:func:`read_capture_meta` behind a ``(path, mtime, size)`` cache.
+
+    Filesystem paths only — open streams have no stable identity and go
+    straight to :func:`read_capture_meta`.  A cached entry is valid while
+    the file's ``st_mtime_ns`` and ``st_size`` both match; a rewritten or
+    truncated file re-probes.  Damaged headers raise exactly like the
+    uncached probe and are never cached, so a file repaired in place is
+    picked up on the next call.
+    """
+    if hasattr(path, "read"):
+        return read_capture_meta(path)
+    key = os.fspath(path)
+    st = os.stat(key)
+    token = (st.st_mtime_ns, st.st_size)
+    with _meta_cache_lock:
+        hit = _meta_cache.get(key)
+        if hit is not None and hit[0] == token:
+            _meta_cache.move_to_end(key)
+            meta = hit[1]
+        else:
+            meta = None
+    if meta is not None:
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("upload.meta.probes", kind="hit")
+        return meta
+    meta = read_capture_meta(path)
+    with _meta_cache_lock:
+        _meta_cache[key] = (token, meta)
+        _meta_cache.move_to_end(key)
+        while len(_meta_cache) > META_CACHE_SIZE:
+            _meta_cache.popitem(last=False)
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("upload.meta.probes", kind="miss")
+    return meta
 
 
 def write_capture_stream(

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.instrument.namefile import NameTable
 from repro.instrument.tags import TagEntry
 from repro.profiler.capture import Capture
 from repro.profiler.ram import RawRecord
+from repro.profiler.upload import write_capture_file
 
 TIME_MASK = (1 << 24) - 1
 
@@ -50,5 +53,60 @@ def stream(names: NameTable, *steps: tuple[str, str, int]) -> Capture:
             raise ValueError(f"bad op {op!r}")
         records.append(RawRecord(tag=tag, time=time_us & TIME_MASK))
     return Capture(records=tuple(records), names=names, label="synthetic")
+
+
+def fleet_names() -> NameTable:
+    """The standard name table the fleet corpus builders decode with."""
+    return make_names(
+        ("main", 500),
+        ("work", 502),
+        ("spin", 506),
+        ("swtch", 504, "!"),
+    )
+
+
+def synth_capture_records(index: int, events: int) -> list[RawRecord]:
+    """Deterministic records for synthetic fleet capture *index*.
+
+    A ``main`` frame wrapping ``events//2 - 1`` alternating ``work`` /
+    ``spin`` calls, with per-capture time steps so no two captures in a
+    corpus summarise identically — a merge-order bug cannot hide behind
+    identical shards.  Pure function of ``(index, events)``.
+    """
+    names = fleet_names()
+    main = names.by_name("main")
+    inner = [names.by_name("work"), names.by_name("spin")]
+    step = 7 + (index % 5)
+    t = (index * 9973) & TIME_MASK
+    records = [RawRecord(tag=main.entry_value, time=t)]
+    calls = max(1, events // 2 - 1)
+    for call in range(calls):
+        entry = inner[call % 2]
+        t = (t + step) & TIME_MASK
+        records.append(RawRecord(tag=entry.entry_value, time=t))
+        t = (t + step + (call % 3)) & TIME_MASK
+        records.append(RawRecord(tag=entry.exit_value, time=t))
+    t = (t + step) & TIME_MASK
+    records.append(RawRecord(tag=main.exit_value, time=t))
+    return records
+
+
+def build_fleet_corpus(
+    root: Path, captures: int, events: int = 64
+) -> NameTable:
+    """Write a synthetic MPF2 corpus under *root*; returns its names.
+
+    Files are ``cap_0000.mpf`` … so lexical order equals build order,
+    which keeps fleet plans (path-sorted) easy to reason about in tests
+    and benchmarks.
+    """
+    root.mkdir(parents=True, exist_ok=True)
+    for index in range(captures):
+        write_capture_file(
+            root / f"cap_{index:04d}.mpf",
+            synth_capture_records(index, events),
+            label=f"cap-{index:04d}",
+        )
+    return fleet_names()
 
 

@@ -1,0 +1,354 @@
+"""Fleet ingestion: arena striping, header-probe cache, determinism.
+
+The load-bearing property is byte-identity: the merged fleet summary
+must not depend on worker count or completion order.  The suite checks
+it three ways — pool runs at {1, 2, 4, 7} workers against the inline
+sequential reference, an explicitly shuffled merge fold, and corpora
+salted with the frozen ``.mpf.corrupt`` goldens under salvage.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import (
+    FLEET_COUNTERS,
+    FLEET_HISTOGRAMS,
+    ArenaError,
+    FleetError,
+    MetricsArena,
+    fleet_arena,
+    format_fleet_summary,
+    ingest_fleet,
+    merge_fleet,
+    plan_fleet,
+)
+from repro.fleet.ingest import _summarize_one
+from repro.lint.fleet_lint import lint_fleet_plan, lint_fleet_result
+from repro.profiler.upload import (
+    cached_capture_meta,
+    clear_meta_cache,
+    write_capture_file,
+)
+from repro.telemetry.core import Telemetry
+
+from stream_helpers import build_fleet_corpus, fleet_names, synth_capture_records
+
+GOLDEN = Path(__file__).parent / "golden"
+CORRUPT_GOLDENS = sorted(GOLDEN.glob("*.mpf.corrupt"))
+
+
+# -- the shared-memory arena --------------------------------------------------
+
+
+class TestMetricsArena:
+    def test_counters_sum_across_stripes(self):
+        with MetricsArena.create(["a", "b"], [], stripes=3) as arena:
+            arena.writer(0).count("a", 5)
+            arena.writer(1).count("a", 7)
+            arena.writer(2).count("b")
+            assert arena.counter_total("a") == 12
+            assert arena.counter_total("b") == 1
+
+    def test_histogram_totals_are_cumulative(self):
+        spec = [("lat", (10.0, 100.0, 1000.0))]
+        with MetricsArena.create([], spec, stripes=2) as arena:
+            arena.writer(0).observe("lat", 5.0)
+            arena.writer(1).observe("lat", 50.0)
+            arena.writer(1).observe("lat", 5000.0)
+            buckets, count, total = arena.histogram_total("lat")
+            assert buckets == (1, 2, 2)  # cumulative: <=10, <=100, <=1000
+            assert count == 3
+            assert total == pytest.approx(5055.0)
+
+    def test_attach_sees_creator_writes(self):
+        with MetricsArena.create(["n"], [], stripes=1) as arena:
+            arena.writer(0).count("n", 3)
+            twin = MetricsArena.attach(arena.name, ["n"], [], stripes=1)
+            try:
+                assert twin.counter_total("n") == 3
+                twin.writer(0).count("n", 4)
+                assert arena.counter_total("n") == 7
+            finally:
+                twin.close()
+
+    def test_pickle_round_trip_attaches_same_block(self):
+        with MetricsArena.create(["n"], [("h", (1.0,))], stripes=2) as arena:
+            clone = pickle.loads(pickle.dumps(arena))
+            try:
+                clone.writer(1).count("n", 9)
+                assert arena.counter_total("n") == 9
+                assert clone.name == arena.name
+            finally:
+                clone.close()
+
+    def test_publish_into_registry(self):
+        telemetry = Telemetry("test").enable()
+        with fleet_arena(stripes=2) as arena:
+            arena.writer(0).count("fleet.captures.ingested", 2)
+            arena.writer(1).count("fleet.captures.ingested", 3)
+            arena.writer(0).observe("fleet.stage.decode_us", 700.0)
+            arena.publish_into(telemetry)
+            counter = telemetry.registry.get("fleet.captures.ingested")
+            assert counter is not None and counter.value == 5
+            # Counters publish as deltas: a second publish of unchanged
+            # totals must not double them.
+            arena.publish_into(telemetry)
+            assert counter.value == 5
+            arena.writer(0).count("fleet.captures.ingested")
+            arena.publish_into(telemetry)
+            assert counter.value == 6
+            histogram = telemetry.registry.get("fleet.stage.decode_us")
+            assert histogram is not None and histogram.count == 1
+            # The whole catalog registers, even instruments still at zero.
+            for name in FLEET_COUNTERS:
+                assert telemetry.registry.get(name) is not None
+
+    def test_publish_respects_disabled_telemetry(self):
+        telemetry = Telemetry("test")  # disabled
+        with fleet_arena(stripes=1) as arena:
+            arena.writer(0).count("fleet.captures.ingested")
+            arena.publish_into(telemetry)
+            assert len(telemetry.registry) == 0
+
+    def test_layout_errors(self):
+        with pytest.raises(ArenaError):
+            MetricsArena.create(["x", "x"], [], stripes=1)
+        with pytest.raises(ArenaError):
+            MetricsArena.create([], [("h", ())], stripes=1)
+        with pytest.raises(ArenaError):
+            MetricsArena.create(["x"], [], stripes=0)
+        with MetricsArena.create(["x"], [], stripes=2) as arena:
+            with pytest.raises(ArenaError):
+                arena.writer(2)
+
+    def test_snapshot_shape(self):
+        with fleet_arena(stripes=1) as arena:
+            arena.writer(0).count("fleet.records.decoded", 42)
+            snapshot = arena.snapshot()
+            assert snapshot["counters"]["fleet.records.decoded"] == 42
+            assert set(snapshot["histograms"]) == {
+                name for name, _ in FLEET_HISTOGRAMS
+            }
+
+
+# -- the header-probe cache ---------------------------------------------------
+
+
+class TestMetaCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_meta_cache()
+        yield
+        clear_meta_cache()
+
+    def test_hit_returns_cached_object(self, tmp_path):
+        path = tmp_path / "one.mpf"
+        write_capture_file(path, synth_capture_records(0, 16), label="one")
+        first = cached_capture_meta(path)
+        second = cached_capture_meta(path)
+        assert second is first  # identity: no re-read happened
+
+    def test_rewrite_invalidates(self, tmp_path):
+        path = tmp_path / "one.mpf"
+        write_capture_file(path, synth_capture_records(0, 16), label="before")
+        before = cached_capture_meta(path)
+        assert before.label == "before"
+        write_capture_file(path, synth_capture_records(1, 32), label="after")
+        after = cached_capture_meta(path)
+        assert after.label == "after" and after is not before
+
+    def test_damaged_header_not_cached(self, tmp_path):
+        path = tmp_path / "bad.mpf"
+        path.write_bytes(b"NOPE")
+        with pytest.raises(ValueError):
+            cached_capture_meta(path)
+        write_capture_file(path, synth_capture_records(0, 16), label="fixed")
+        assert cached_capture_meta(path).label == "fixed"
+
+    def test_lru_eviction(self, tmp_path, monkeypatch):
+        import repro.profiler.upload as upload
+
+        monkeypatch.setattr(upload, "META_CACHE_SIZE", 2)
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"c{i}.mpf"
+            write_capture_file(path, synth_capture_records(i, 16))
+            paths.append(path)
+            cached_capture_meta(path)
+        # Only the two most recent survive the LRU sweep.
+        assert len(upload._meta_cache) == 2
+        evicted = cached_capture_meta(paths[0])
+        assert evicted.count > 0  # re-probed fine after eviction
+
+
+# -- planning -----------------------------------------------------------------
+
+
+class TestPlan:
+    def test_plan_is_path_sorted(self, tmp_path):
+        names = build_fleet_corpus(tmp_path, captures=5)
+        assert names is not None
+        plan = plan_fleet(tmp_path)
+        paths = [c.path for c in plan.captures]
+        assert paths == sorted(paths)
+        assert [c.index for c in plan.captures] == list(range(5))
+        assert plan.total_records > 0
+
+    def test_unreadable_header_lands_in_plan(self, tmp_path):
+        build_fleet_corpus(tmp_path, captures=1)
+        (tmp_path / "junk.mpf").write_bytes(b"????")
+        plan = plan_fleet(tmp_path)
+        junk = [c for c in plan.captures if "junk" in c.path]
+        assert junk and junk[0].meta is None and junk[0].probe_error
+
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(FleetError):
+            plan_fleet(tmp_path / "nowhere")
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def _ingest_text(root, names, *, jobs, salvage="off"):
+    result = ingest_fleet(root, names, jobs=jobs, salvage=salvage)
+    return format_fleet_summary(result), result
+
+
+class TestDeterminism:
+    def test_worker_counts_merge_byte_identical(self, tmp_path):
+        names = build_fleet_corpus(tmp_path, captures=9, events=48)
+        reference, ref_result = _ingest_text(tmp_path, names, jobs=1)
+        assert ref_result.failed == 0
+        for jobs in (2, 4, 7):
+            text, result = _ingest_text(tmp_path, names, jobs=jobs)
+            assert text == reference, f"jobs={jobs} diverged"
+            assert result.manifest() == ref_result.manifest()
+
+    def test_shuffled_fold_matches_plan_order(self, tmp_path):
+        names = build_fleet_corpus(tmp_path, captures=6, events=40)
+        plan = plan_fleet(tmp_path)
+        shards = []
+        for capture in plan.captures:
+            _, accumulator = _summarize_one(
+                capture.path, names, "columnar", "off", None
+            )
+            shards.append((capture.index, accumulator))
+        ordered = merge_fleet(names, list(shards)).summary().format()
+        for seed in range(3):
+            shuffled = list(shards)
+            random.Random(seed).shuffle(shuffled)
+            assert merge_fleet(names, shuffled).summary().format() == ordered
+
+    @pytest.mark.skipif(
+        not CORRUPT_GOLDENS, reason="corrupt goldens not checked in"
+    )
+    def test_salvage_corpus_deterministic(self, tmp_path):
+        """Corrupt goldens ride along under --salvage, all worker counts."""
+        build_fleet_corpus(tmp_path, captures=4, events=40)
+        for corrupt in CORRUPT_GOLDENS:
+            shutil.copy(corrupt, tmp_path / corrupt.name)
+        # The goldens decode with the case-study table, not the synth one.
+        from repro.instrument.namefile import NameTable
+
+        names = NameTable.read(GOLDEN / "case_study.tags")
+        reference, ref_result = _ingest_text(
+            tmp_path, names, jobs=1, salvage="auto"
+        )
+        assert ref_result.salvaged >= 1
+        for jobs in (2, 4):
+            text, _ = _ingest_text(tmp_path, names, jobs=jobs, salvage="auto")
+            assert text == reference, f"salvage jobs={jobs} diverged"
+
+    def test_salvage_off_fails_corrupt_captures(self, tmp_path):
+        build_fleet_corpus(tmp_path, captures=2, events=40)
+        (tmp_path / "broken.mpf").write_bytes(b"MPF2 garbage header")
+        names = fleet_names()
+        result = ingest_fleet(tmp_path, names, jobs=1, salvage="off")
+        assert result.failed == 1 and result.ingested == 2
+        failed = [r for r in result.reports if not r.ok]
+        assert failed[0].error
+
+    def test_empty_capture_merges_clean(self, tmp_path):
+        names = build_fleet_corpus(tmp_path, captures=2, events=40)
+        write_capture_file(tmp_path / "empty.mpf", [], label="empty")
+        result = ingest_fleet(tmp_path, names, jobs=1)
+        assert result.failed == 0
+        assert result.accumulator is not None
+
+
+# -- fleet metrics through a real pool ----------------------------------------
+
+
+class TestPoolMetrics:
+    def test_pool_run_populates_arena(self, tmp_path):
+        names = build_fleet_corpus(tmp_path, captures=6, events=48)
+        with fleet_arena(stripes=2) as arena:
+            result = ingest_fleet(
+                tmp_path, names, jobs=2, arena=arena
+            )
+            assert result.failed == 0
+            assert arena.counter_total("fleet.captures.ingested") == 6
+            assert (
+                arena.counter_total("fleet.records.decoded")
+                == result.records
+            )
+            _, count, _ = arena.histogram_total("fleet.stage.decode_us")
+            assert count == 6
+
+
+# -- P5xx lint ----------------------------------------------------------------
+
+
+class TestFleetLint:
+    def test_empty_plan_warns_p501(self, tmp_path):
+        report = lint_fleet_plan(plan_fleet(tmp_path))
+        assert report.codes() == ("P501",)
+
+    def test_mixed_geometry_warns_p503(self, tmp_path):
+        build_fleet_corpus(tmp_path, captures=3, events=24)
+        write_capture_file(
+            tmp_path / "odd.mpf",
+            synth_capture_records(9, 24),
+            counter_width_bits=16,
+            label="odd-board",
+        )
+        report = lint_fleet_plan(plan_fleet(tmp_path))
+        p503 = [d for d in report if d.code == "P503"]
+        assert len(p503) == 1 and "odd.mpf" in p503[0].source
+
+    def test_duplicate_labels_warn_p504(self, tmp_path):
+        for i in range(2):
+            write_capture_file(
+                tmp_path / f"dup{i}.mpf",
+                synth_capture_records(i, 24),
+                label="same-label",
+            )
+        report = lint_fleet_plan(plan_fleet(tmp_path))
+        assert "P504" in report.codes()
+
+    def test_result_lint_reports_failures_and_salvage(self, tmp_path):
+        names = build_fleet_corpus(tmp_path, captures=1, events=24)
+        (tmp_path / "broken.mpf").write_bytes(b"not a capture at all")
+        result = ingest_fleet(tmp_path, names, jobs=1, salvage="off")
+        report = lint_fleet_result(result)
+        assert "P502" in report.codes()
+        assert report.exit_code == 1
+
+    @pytest.mark.skipif(
+        not CORRUPT_GOLDENS, reason="corrupt goldens not checked in"
+    )
+    def test_salvaged_captures_note_p505(self, tmp_path):
+        from repro.instrument.namefile import NameTable
+
+        shutil.copy(CORRUPT_GOLDENS[0], tmp_path / CORRUPT_GOLDENS[0].name)
+        names = NameTable.read(GOLDEN / "case_study.tags")
+        result = ingest_fleet(tmp_path, names, jobs=1, salvage="auto")
+        report = lint_fleet_result(result)
+        assert "P505" in report.codes()
+        assert report.exit_code == 0  # info only
