@@ -69,6 +69,11 @@ from repro.profiler.upload import (
 from repro.system import build_case_study
 from repro.telemetry import TELEMETRY, ProgressReporter
 
+#: name -> description.  Deliberately a literal, NOT derived from
+#: repro.workloads: importing the workload package pulls kernel modules
+#: in a different order than build_case_study() and shifts kfunc tag
+#: assignment, breaking golden-capture byte identity.  The registry
+#: tests assert this table and WORKLOAD_REGISTRY agree exactly.
 WORKLOADS: dict[str, str] = {
     "network": "TCP receive test (Figures 3/4): the SPARC sender saturates the PC",
     "network-send": "TCP transmit test: the PC streams out to a discard sink",
@@ -86,51 +91,13 @@ REPORTS = ("summary", "trace", "gprof", "folded", "flame", "timeline")
 
 
 def _run_workload(system, name: str, packets: int) -> None:
-    kernel = system.kernel
-    if name == "network":
-        from repro.workloads.network_recv import network_receive
+    from repro.workloads import WorkloadError, get_workload
 
-        network_receive(kernel, total_packets=packets)
-    elif name == "network-send":
-        from repro.workloads.network_send import network_send
-
-        network_send(kernel, total_bytes=packets * 1024)
-    elif name == "forkexec":
-        from repro.workloads.forkexec import fork_exec_storm
-
-        fork_exec_storm(kernel, iterations=max(1, packets // 15))
-    elif name == "filewrite":
-        from repro.workloads.fileio import file_write_storm
-
-        file_write_storm(kernel, nblocks=max(4, packets // 2))
-    elif name == "fileread":
-        from repro.workloads.fileio import file_read_back
-
-        file_read_back(kernel, nblocks=max(4, packets // 4))
-    elif name == "nfs":
-        from repro.workloads.nfsio import nfs_read_stream
-
-        nfs_read_stream(kernel, file_bytes=packets * 1024)
-    elif name == "mixed":
-        from repro.workloads.mixed import mixed_activity
-
-        mixed_activity(kernel, rounds=max(2, packets // 8))
-    elif name == "tty":
-        from repro.workloads.ttyio import attach_tty, type_and_read
-
-        attach_tty(kernel)
-        type_and_read(kernel, text="profile me please\n" * max(1, packets // 10))
-    elif name in ("snmp-linear", "snmp-btree"):
-        from repro.workloads.snmp import snmp_agent_run
-
-        snmp_agent_run(
-            kernel,
-            mib_kind=name.split("-")[1],
-            requests=packets,
-            names=system.names,
-        )
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown workload {name!r}")
+    try:
+        spec = get_workload(name)
+    except WorkloadError as exc:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(str(exc)) from None
+    spec.run_packets(system, packets)
 
 
 def _desync_footer(desyncs: int) -> str:
@@ -452,7 +419,12 @@ def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
     if args.captures and not args.names:
         out("lint: capture files need at least one --names file to decode with")
         return 2
-    explicit = bool(args.captures or args.names or args.kernel_ast)
+    if args.coverage_corpus and not args.names:
+        out("lint: --coverage-corpus needs at least one --names file")
+        return 2
+    explicit = bool(
+        args.captures or args.names or args.kernel_ast or args.coverage_corpus
+    )
     options = LintOptions(
         captures=args.captures,
         names=args.names or (),
@@ -460,6 +432,7 @@ def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
         kernel_ast=args.kernel_ast,
         self_check=args.self_check or not explicit,
         decode=args.decode,
+        coverage_corpus=args.coverage_corpus,
     )
     report = lint_paths(options)
     out(render_json(report) if args.json else render_text(report))
@@ -603,9 +576,126 @@ def cmd_fleet_serve(args: argparse.Namespace, out: Callable) -> int:
     return code
 
 
+def _coverage_report(args: argparse.Namespace):
+    """Shared scan+cross for the coverage report/blindspots commands.
+
+    Returns ``(report, graph)`` or an exit code (2) when the corpus
+    root is unusable.
+    """
+    from repro.coverage import build_call_graph, build_coverage_report, scan_corpus
+    from repro.fleet import FleetError
+
+    names = NameTable.read(*args.names)
+    try:
+        corpus = scan_corpus(args.root, names, jobs=args.jobs)
+    except FleetError as exc:
+        print(f"coverage: {exc}", file=sys.stderr)
+        return None, None
+    graph = build_call_graph()
+    return build_coverage_report(corpus, names, graph=graph), graph
+
+
+def cmd_coverage_report(args: argparse.Namespace, out: Callable) -> int:
+    """``repro coverage report DIR``: the full coverage cross.
+
+    Exit codes: 0 — accounting complete (blind spots and dead
+    instrumentation are warnings); 1 — error-severity findings (P604
+    namefile/source disagreement, P605 unusable captures); 2 — the
+    corpus root is unusable.
+    """
+    from repro.coverage import (
+        coverage_diagnostics,
+        render_coverage_json,
+        render_coverage_text,
+    )
+
+    _telemetry_begin(args)
+    try:
+        report, graph = _coverage_report(args)
+        if report is None:
+            return 2
+        out(render_coverage_json(report) if args.json
+            else render_coverage_text(report))
+        return coverage_diagnostics(report, graph=graph).exit_code
+    finally:
+        _telemetry_end(args)
+
+
+def cmd_coverage_blindspots(args: argparse.Namespace, out: Callable) -> int:
+    """``repro coverage blindspots DIR``: uncovered-but-reachable, with hints."""
+    from repro.coverage import (
+        coverage_diagnostics,
+        render_blindspots_text,
+        render_coverage_json,
+    )
+
+    report, graph = _coverage_report(args)
+    if report is None:
+        return 2
+    out(render_coverage_json(report) if args.json
+        else render_blindspots_text(report))
+    return coverage_diagnostics(report, graph=graph).exit_code
+
+
+def cmd_coverage_hunt(args: argparse.Namespace, out: Callable) -> int:
+    """``repro coverage hunt DIR``: coverage-guided workload search.
+
+    Seeds the greedy driver with the corpus's observed-tag union and
+    perturbs workload parameters toward new tags.  Deterministic for a
+    fixed ``--seed``.  Exit codes: 0 — coverage increased (or the
+    corpus already observes every reachable tag); 1 — no candidate
+    found a new tag; 2 — the corpus root is unusable.
+    """
+    from repro.coverage import (
+        build_call_graph,
+        hunt_coverage,
+        render_hunt_json,
+        render_hunt_text,
+        scan_corpus,
+    )
+    from repro.fleet import FleetError
+
+    if args.rounds < 1 or args.candidates < 1:
+        raise SystemExit("--rounds and --candidates must be at least 1")
+    _telemetry_begin(args)
+    try:
+        names = NameTable.read(*args.names)
+        try:
+            corpus = scan_corpus(args.root, names, jobs=args.jobs)
+        except FleetError as exc:
+            print(f"coverage: {exc}", file=sys.stderr)
+            return 2
+        baseline = corpus.observed_union()
+        result = hunt_coverage(
+            baseline,
+            seed=args.seed,
+            rounds=args.rounds,
+            candidates=args.candidates,
+            log=(lambda line: print(line, file=sys.stderr))
+            if args.verbose else None,
+        )
+        out(render_hunt_json(result) if args.json else render_hunt_text(result))
+        if result.improved:
+            return 0
+        reachable = build_call_graph().reachable_tags()
+        return 0 if reachable <= baseline else 1
+    finally:
+        _telemetry_end(args)
+
+
 def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
-    for name, description in WORKLOADS.items():
-        out(f"  {name:<12} {description}")
+    """``repro workloads``: the machine-readable workload registry.
+
+    Text mode prints each workload with its parameter schema (name,
+    default, range); ``--json`` emits the stable machine-readable form
+    the hunt driver and fleet labelling consume.
+    """
+    from repro.workloads import format_registry, registry_json
+
+    if getattr(args, "json", False):
+        out(json.dumps(registry_json(), indent=1))
+    else:
+        out(format_registry())
     return 0
 
 
@@ -793,6 +883,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="lint the shipped case-study configuration (default when "
         "no other artifacts are given)",
     )
+    lint.add_argument(
+        "--coverage-corpus", default=None, metavar="DIR",
+        help="run the profile-coverage pass (P6xx) over a directory of "
+        "capture files (needs --names)",
+    )
     lint.set_defaults(func=cmd_lint)
 
     fleet = sub.add_parser(
@@ -878,7 +973,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_serve.set_defaults(func=cmd_fleet_serve)
 
-    workloads = sub.add_parser("workloads", help="list available workloads")
+    coverage = sub.add_parser(
+        "coverage",
+        help="profile coverage: static reachability x observed tags",
+        description="Cross the static call graph of the instrumented "
+        "kernel (syscall/interrupt/scheduler/harness roots) with the "
+        "observed-tag sets of a capture corpus: coverage percentages per "
+        "workload, blind spots with suggested workloads, dead "
+        "instrumentation, and a coverage-guided workload hunter.",
+    )
+    coverage_sub = coverage.add_subparsers(dest="coverage_command", required=True)
+
+    def _coverage_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("root", help="directory of capture files")
+        sub_parser.add_argument(
+            "--names", action="append", required=True,
+            help="name/tag file(s) to decode with (repeatable, concatenated)",
+        )
+        sub_parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the corpus scan (default 1; the "
+            "report is byte-identical for every worker count)",
+        )
+        sub_parser.add_argument(
+            "--json", action="store_true",
+            help="emit the JSON report (stable schema) instead of text",
+        )
+
+    coverage_report = coverage_sub.add_parser(
+        "report",
+        help="the full coverage cross over a capture corpus",
+        description="Classify every instrumented function exactly once — "
+        "covered, blind spot (reachable but never observed), or dead "
+        "(statically unreachable) — and break coverage down per "
+        "workload.  Exit codes: 0 accounting complete, 1 error-severity "
+        "findings (P604/P605), 2 unusable corpus root.",
+    )
+    _coverage_common(coverage_report)
+    _add_telemetry_flags(coverage_report)
+    coverage_report.set_defaults(func=cmd_coverage_report)
+
+    coverage_blind = coverage_sub.add_parser(
+        "blindspots",
+        help="reachable-but-never-observed functions, with workload hints",
+        description="The blind-spot walkthrough: every reachable "
+        "instrumented function the corpus never observed, grouped by "
+        "subsystem, each with the workload whose observed tags sit "
+        "closest in the call graph.  Exit codes as for 'report'.",
+    )
+    _coverage_common(coverage_blind)
+    coverage_blind.set_defaults(func=cmd_coverage_blindspots)
+
+    coverage_hunt = coverage_sub.add_parser(
+        "hunt",
+        help="coverage-guided workload search over the registry",
+        description="Seeded greedy driver: each round draws candidate "
+        "workload configurations (fresh samples plus perturbations of "
+        "the best so far), runs each on a fresh simulated system, and "
+        "keeps the one observing the most tags beyond the corpus "
+        "baseline.  Deterministic for a fixed --seed.  Exit codes: "
+        "0 coverage increased (or already full), 1 no improvement, "
+        "2 unusable corpus root.",
+    )
+    _coverage_common(coverage_hunt)
+    coverage_hunt.add_argument(
+        "--seed", type=int, default=0,
+        help="PRNG seed for the candidate draws (default 0)",
+    )
+    coverage_hunt.add_argument(
+        "--rounds", type=int, default=2,
+        help="greedy rounds (default 2)",
+    )
+    coverage_hunt.add_argument(
+        "--candidates", type=int, default=4,
+        help="candidate configurations per round (default 4)",
+    )
+    coverage_hunt.add_argument(
+        "--verbose", action="store_true",
+        help="log every candidate evaluation to stderr",
+    )
+    _add_telemetry_flags(coverage_hunt)
+    coverage_hunt.set_defaults(func=cmd_coverage_hunt)
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="list the workload registry (names, descriptions, parameter "
+        "schemas)",
+    )
+    workloads.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable registry (stable schema)",
+    )
     workloads.set_defaults(func=cmd_workloads)
     return parser
 

@@ -16,7 +16,9 @@ properties *statically*, before (or instead of) a run:
 5. :mod:`repro.lint.telemetry_lint` — the profiler's own telemetry
    (unclosed spans, metric-name collisions);
 6. :mod:`repro.lint.fleet_lint` — fleet ingestion plans and results
-   (empty corpora, failed captures, mixed counter geometries).
+   (empty corpora, failed captures, mixed counter geometries);
+7. :mod:`repro.lint.coverage_lint` — profile coverage of a capture
+   corpus (dead instrumentation, blind spots, redundant workloads).
 
 Every finding is a :class:`~repro.lint.diagnostics.Diagnostic` with a
 stable ``P0xx``-style code and a severity; :mod:`repro.lint.runner`
@@ -33,6 +35,7 @@ from repro.lint.diagnostics import (
     Severity,
 )
 from repro.lint.ast_lint import lint_kernel_source, lint_source_text
+from repro.lint.coverage_lint import lint_coverage_corpus
 from repro.lint.fleet_lint import lint_fleet_plan, lint_fleet_result
 from repro.lint.link_lint import lint_layout, lint_link
 from repro.lint.namefile_lint import (
@@ -42,9 +45,12 @@ from repro.lint.namefile_lint import (
 )
 from repro.lint.runner import (
     LintOptions,
+    LintPass,
     lint_capture_file,
     lint_paths,
     lint_self_check,
+    register_lint_pass,
+    registered_passes,
     render_json,
     render_text,
 )
@@ -61,10 +67,12 @@ __all__ = [
     "DEFECT_CODES",
     "Diagnostic",
     "LintOptions",
+    "LintPass",
     "LintReport",
     "Severity",
     "lint_capture_defects",
     "lint_capture_file",
+    "lint_coverage_corpus",
     "lint_fleet_plan",
     "lint_fleet_result",
     "lint_kernel_source",
@@ -78,6 +86,8 @@ __all__ = [
     "lint_self_check",
     "lint_source_text",
     "lint_telemetry",
+    "register_lint_pass",
+    "registered_passes",
     "render_json",
     "render_text",
     "verify_capture",

@@ -79,6 +79,12 @@ CODE_TABLE: dict[str, tuple[Severity, str]] = {
     "P504": (Severity.WARNING, "capture label duplicated across the fleet"),
     "P505": (Severity.INFO, "capture auto-salvaged during fleet ingest"),
     "P506": (Severity.ERROR, "fleet root missing or not a directory"),
+    # -- P6xx: profile coverage (static reachability x corpus observation) --
+    "P601": (Severity.WARNING, "instrumented function statically unreachable"),
+    "P602": (Severity.WARNING, "reachable function never observed in corpus"),
+    "P603": (Severity.INFO, "workload contributes no unique tags"),
+    "P604": (Severity.ERROR, "namefile tag absent from the call graph"),
+    "P605": (Severity.ERROR, "capture unusable for coverage accounting"),
 }
 
 

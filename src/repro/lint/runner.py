@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.instrument.namefile import NameFileError, NameTable, parse_line
 from repro.lint.ast_lint import lint_kernel_source
@@ -60,6 +60,8 @@ class LintOptions:
     self_check: bool = False
     #: Record-decode engine for the stream verifier ("columnar"/"reference").
     decode: str = DEFAULT_DECODE
+    #: Capture-corpus directory for the coverage pass (None disables it).
+    coverage_corpus: Optional[Union[str, Path]] = None
 
 
 def lenient_name_table(paths: Sequence[Union[str, Path]]) -> NameTable:
@@ -159,34 +161,94 @@ def lint_self_check(report: Optional[LintReport] = None) -> LintReport:
     return report
 
 
+# -- the pass registry -------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class LintPass:
+    """One registered lint pass.
+
+    ``selected`` decides from the options whether the pass runs at all;
+    ``run`` folds diagnostics into the shared report.  The ``name`` is
+    also the telemetry span suffix (``lint.pass.<name>``), so new passes
+    get per-pass timing for free.
+    """
+
+    name: str
+    selected: Callable[[LintOptions], bool]
+    run: Callable[[LintOptions, LintReport], None]
+
+
+_PASS_REGISTRY: list[LintPass] = []
+
+
+def register_lint_pass(lint_pass: LintPass) -> LintPass:
+    """Append a pass to the chain (replacing any same-named pass).
+
+    Replacement keeps re-imports idempotent; chain position is
+    registration order, which for the built-ins is the historical
+    namefile -> stream -> kernel_ast -> self_check order.
+    """
+    _PASS_REGISTRY[:] = [p for p in _PASS_REGISTRY if p.name != lint_pass.name]
+    _PASS_REGISTRY.append(lint_pass)
+    return lint_pass
+
+
+def registered_passes() -> tuple[LintPass, ...]:
+    return tuple(_PASS_REGISTRY)
+
+
+def _run_namefile_pass(options: LintOptions, report: LintReport) -> None:
+    lint_name_files(options.names, report=report)
+
+
+def _run_stream_pass(options: LintOptions, report: LintReport) -> None:
+    table = lenient_name_table(options.names)
+    for capture in options.captures:
+        lint_capture_file(
+            capture,
+            table,
+            ram_depth=options.ram_depth,
+            report=report,
+            decode=options.decode,
+        )
+
+
+def _run_kernel_ast_pass(options: LintOptions, report: LintReport) -> None:
+    lint_kernel_source(report=report)
+
+
+def _run_self_check_pass(options: LintOptions, report: LintReport) -> None:
+    lint_self_check(report=report)
+
+
+register_lint_pass(LintPass(
+    "namefile", lambda options: bool(options.names), _run_namefile_pass
+))
+register_lint_pass(LintPass(
+    "stream", lambda options: bool(options.captures), _run_stream_pass
+))
+register_lint_pass(LintPass(
+    "kernel_ast", lambda options: options.kernel_ast, _run_kernel_ast_pass
+))
+register_lint_pass(LintPass(
+    "self_check", lambda options: options.self_check, _run_self_check_pass
+))
+
+
 def lint_paths(options: LintOptions) -> LintReport:
-    """Run every pass the options select, in chain order.
+    """Run every registered pass the options select, in chain order.
 
     Each pass runs under a telemetry span (``lint.pass.<pass>``), so
     ``--telemetry`` output breaks lint wall time down per pass; with
     telemetry disabled the spans are no-ops.
     """
     report = LintReport()
-    if options.names:
-        with _TELEMETRY.span("lint.pass.namefile"):
-            lint_name_files(options.names, report=report)
-    if options.captures:
-        with _TELEMETRY.span("lint.pass.stream"):
-            table = lenient_name_table(options.names)
-            for capture in options.captures:
-                lint_capture_file(
-                    capture,
-                    table,
-                    ram_depth=options.ram_depth,
-                    report=report,
-                    decode=options.decode,
-                )
-    if options.kernel_ast:
-        with _TELEMETRY.span("lint.pass.kernel_ast"):
-            lint_kernel_source(report=report)
-    if options.self_check:
-        with _TELEMETRY.span("lint.pass.self_check"):
-            lint_self_check(report=report)
+    for lint_pass in registered_passes():
+        if not lint_pass.selected(options):
+            continue
+        with _TELEMETRY.span(f"lint.pass.{lint_pass.name}"):
+            lint_pass.run(options, report)
     return report
 
 
@@ -244,12 +306,15 @@ def code_table_markdown() -> str:
 
 __all__ = [
     "LintOptions",
+    "LintPass",
     "Severity",
     "code_table_markdown",
     "lenient_name_table",
     "lint_capture_file",
     "lint_paths",
     "lint_self_check",
+    "register_lint_pass",
+    "registered_passes",
     "render_json",
     "render_text",
 ]

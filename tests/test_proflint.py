@@ -465,7 +465,9 @@ class TestReporting:
                       208, 209, 210, 211, 212, 213)
         } | {f"P{n}" for n in (301, 302, 303, 304, 305, 306)} | {
             f"P{n}" for n in (401, 402, 403, 404)
-        } | {f"P{n}" for n in (501, 502, 503, 504, 505, 506)}
+        } | {f"P{n}" for n in (501, 502, 503, 504, 505, 506)} | {
+            f"P{n}" for n in (601, 602, 603, 604, 605)
+        }
 
     def test_text_format_is_compiler_style(self):
         report = lint_name_file_text("main/510\nmain/502\n", source="k.tags")
