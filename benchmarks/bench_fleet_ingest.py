@@ -34,6 +34,7 @@ from pathlib import Path
 
 from paperbench import once
 
+from repro.atomicio import write_text_atomic
 from repro.fleet import format_fleet_summary, ingest_fleet, plan_fleet
 from repro.instrument.namefile import NameTable
 from repro.instrument.tags import TagEntry
@@ -182,7 +183,7 @@ def test_fleet_ingest_scaling(benchmark, comparison, tmp_path):
         "floor_speedup": floor,
         **result,
     }
-    Path(out_path).write_text(json.dumps(document, indent=1) + "\n")
+    write_text_atomic(out_path, json.dumps(document, indent=1))
 
     if speedup < FLEET_TARGET_SPEEDUP:
         warnings.warn(

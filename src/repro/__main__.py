@@ -15,6 +15,10 @@ Usage examples::
     python -m repro fleet ingest captures/ --names run.tags --jobs 4 --salvage
     python -m repro fleet serve inbox/ --names run.tags --jobs 2 --poll 2
     python -m repro trace export run.mpf --names run.tags -o run.trace.json
+    python -m repro db ingest captures/ --db corpus.db --names run.tags
+    python -m repro db query --db corpus.db --function 'vm_*' --sort net
+    python -m repro db diff baseline-label candidate-label --db corpus.db
+    python -m repro db check --db corpus.db
     python -m repro lint run.mpf --names run.tags --json
     python -m repro lint --kernel-ast
     python -m repro workloads
@@ -46,6 +50,7 @@ from repro.analysis.pipeline import DEFAULT_SHARD_EVENTS, analyze_sharded
 from repro.analysis.timeline import render_timeline
 from repro.analysis.summary import summarize, summarize_columns, summarize_records
 from repro.analysis.trace import format_trace
+from repro.atomicio import write_text_atomic
 from repro.instrument.namefile import NameTable
 from repro.lint import (
     LintOptions,
@@ -88,6 +93,12 @@ WORKLOADS: dict[str, str] = {
 }
 
 REPORTS = ("summary", "trace", "gprof", "folded", "flame", "timeline")
+
+#: ``repro db query --sort`` choices.  A literal for the same reason as
+#: WORKLOADS above: importing repro.db at parser-build time would pull
+#: repro.workloads and shift kfunc tag assignment.  Must mirror
+#: repro.db.query.FUNCTION_SORTS (asserted by the CLI tests).
+DB_FUNCTION_SORTS = ("net", "elapsed", "calls", "pct-net", "pct-real", "name")
 
 
 def _run_workload(system, name: str, packets: int) -> None:
@@ -423,7 +434,8 @@ def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
         out("lint: --coverage-corpus needs at least one --names file")
         return 2
     explicit = bool(
-        args.captures or args.names or args.kernel_ast or args.coverage_corpus
+        args.captures or args.names or args.kernel_ast
+        or args.coverage_corpus or args.db
     )
     options = LintOptions(
         captures=args.captures,
@@ -433,6 +445,7 @@ def cmd_lint(args: argparse.Namespace, out: Callable) -> int:
         self_check=args.self_check or not explicit,
         decode=args.decode,
         coverage_corpus=args.coverage_corpus,
+        db=args.db,
     )
     report = lint_paths(options)
     out(render_json(report) if args.json else render_text(report))
@@ -465,7 +478,7 @@ def cmd_trace_export(args: argparse.Namespace, out: Callable) -> int:
         analysis, interrupt_names=interrupt_names, label=f"cli: {args.capture}"
     )
     output = args.output or str(Path(args.capture).with_suffix(".trace.json"))
-    Path(output).write_text(json.dumps(document, indent=1))
+    write_text_atomic(output, json.dumps(document, indent=1))
     if args.salvage:
         _defect_footer(capture, args.capture, out)
     out(
@@ -524,9 +537,9 @@ def cmd_fleet_ingest(args: argparse.Namespace, out: Callable) -> int:
             out(diagnostic.format())
         out(format_fleet_summary(result, limit=args.summary_limit))
         if args.manifest:
-            Path(args.manifest).write_text(
-                json.dumps(result.manifest(timings=args.timings), indent=1)
-                + "\n"
+            write_text_atomic(
+                args.manifest,
+                json.dumps(result.manifest(timings=args.timings), indent=1),
             )
             # Stderr, like every operational line: stdout stays a pure
             # function of the corpus so --jobs runs diff byte-clean.
@@ -681,6 +694,183 @@ def cmd_coverage_hunt(args: argparse.Namespace, out: Callable) -> int:
         return 0 if reachable <= baseline else 1
     finally:
         _telemetry_end(args)
+
+
+def _open_db(path: str):
+    """Open the profile database, mapping schema faults to exit 2."""
+    from repro.db import ProfileDbError, connect
+
+    try:
+        return connect(path)
+    except ProfileDbError as exc:
+        raise SystemExit(f"db: {exc}") from None
+
+
+def cmd_db_ingest(args: argparse.Namespace, out: Callable) -> int:
+    """``repro db ingest PATH...``: decode captures into the corpus db.
+
+    Exit codes: 0 — every capture ingested (or already present);
+    1 — at least one capture failed (the rest still landed); 2 — no
+    captures found or the database is unusable.
+    """
+    from repro.db import ProfileDbError, ingest_paths, run_count
+
+    _telemetry_begin(args)
+    try:
+        names = NameTable.read(*args.names)
+        conn = _open_db(args.db)
+        try:
+            try:
+                results = ingest_paths(
+                    conn,
+                    args.paths,
+                    names,
+                    salvage=args.salvage,
+                    workload=args.workload,
+                )
+            except ProfileDbError as exc:
+                out(f"db: {exc}")
+                return 2
+            for result in results:
+                if result.status == "failed":
+                    out(f"failed    {result.path}: {result.error}")
+                elif result.status == "duplicate":
+                    out(f"duplicate {result.path} ({result.fingerprint[:12]})")
+                else:
+                    out(
+                        f"{result.status:<9} {result.path} "
+                        f"({result.fingerprint[:12]}) {result.workload}: "
+                        f"{result.functions} function(s), "
+                        f"{result.records} event(s)"
+                    )
+            added = sum(r.status in ("added", "salvaged") for r in results)
+            duplicates = sum(r.status == "duplicate" for r in results)
+            failed = sum(r.status == "failed" for r in results)
+            out(
+                f"db ingest: {added} added, {duplicates} duplicate(s), "
+                f"{failed} failed; {run_count(conn)} run(s) in {args.db}"
+            )
+            return 1 if failed else 0
+        finally:
+            conn.close()
+    finally:
+        _telemetry_end(args)
+
+
+def cmd_db_runs(args: argparse.Namespace, out: Callable) -> int:
+    """``repro db runs``: the run catalog (the thing diff selectors name)."""
+    from repro.db import list_runs, render_runs_json, render_runs_text
+
+    conn = _open_db(args.db)
+    try:
+        runs = list_runs(conn, workload=args.workload, label=args.label)
+    finally:
+        conn.close()
+    out(render_runs_json(runs) if args.json else render_runs_text(runs))
+    return 0
+
+
+def cmd_db_query(args: argparse.Namespace, out: Callable) -> int:
+    """``repro db query``: filter/sort per-function rows across the corpus."""
+    from repro.db import (
+        ProfileDbError,
+        query_functions,
+        render_query_json,
+        render_query_text,
+    )
+
+    _telemetry_begin(args)
+    try:
+        conn = _open_db(args.db)
+        try:
+            try:
+                rows = query_functions(
+                    conn,
+                    workload=args.workload,
+                    label=args.label,
+                    function=args.function,
+                    min_pct_net=args.min_pct_net,
+                    sort=args.sort,
+                    limit=args.limit,
+                )
+            except ProfileDbError as exc:
+                raise SystemExit(f"db: {exc}") from None
+        finally:
+            conn.close()
+        out(render_query_json(rows) if args.json else render_query_text(rows))
+        return 0
+    finally:
+        _telemetry_end(args)
+
+
+def cmd_db_diff(args: argparse.Namespace, out: Callable) -> int:
+    """``repro db diff BASELINE CANDIDATE``: the regression gate.
+
+    Exit codes: 0 — no movement beyond noise; 1 — meaningful but benign
+    movement; 2 — a confirmed regression (or unusable selectors/db).
+    """
+    import warnings as _warnings
+
+    from repro.db import (
+        DiffThresholds,
+        ProfileDbError,
+        diff_runs,
+        render_diff_json,
+        render_diff_text,
+    )
+
+    _telemetry_begin(args)
+    try:
+        baseline = args.baseline
+        if args.baseline_label:
+            if args.candidate is not None:
+                raise SystemExit(
+                    "db diff: give either BASELINE CANDIDATE positionally "
+                    "or --baseline-label, not both"
+                )
+            baseline, candidate = f"label:{args.baseline_label}", args.baseline
+        else:
+            candidate = args.candidate
+        if baseline is None or candidate is None:
+            raise SystemExit(
+                "db diff: need a baseline and a candidate selector"
+            )
+        thresholds = DiffThresholds(
+            sigma=args.sigma,
+            min_rel=args.min_rel,
+            singleton_rel=args.singleton_rel,
+            min_abs_us=args.min_abs_us,
+        )
+        conn = _open_db(args.db)
+        try:
+            try:
+                with _warnings.catch_warnings():
+                    # The mismatch is reported in the rendering itself.
+                    _warnings.simplefilter("ignore")
+                    report = diff_runs(
+                        conn, baseline, candidate, thresholds=thresholds
+                    )
+            except ProfileDbError as exc:
+                raise SystemExit(f"db diff: {exc}") from None
+        finally:
+            conn.close()
+        out(
+            render_diff_json(report, limit=args.limit)
+            if args.json
+            else render_diff_text(report, limit=args.limit or 10)
+        )
+        return report.exit_code
+    finally:
+        _telemetry_end(args)
+
+
+def cmd_db_check(args: argparse.Namespace, out: Callable) -> int:
+    """``repro db check``: the P7xx integrity pass over one database."""
+    from repro.lint.db_lint import lint_profile_db
+
+    report = lint_profile_db(args.db)
+    out(render_json(report) if args.json else render_text(report))
+    return report.exit_code
 
 
 def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
@@ -888,6 +1078,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the profile-coverage pass (P6xx) over a directory of "
         "capture files (needs --names)",
     )
+    lint.add_argument(
+        "--db", default=None, metavar="FILE",
+        help="run the profile-database integrity pass (P7xx) over a "
+        "corpus database file",
+    )
     lint.set_defaults(func=cmd_lint)
 
     fleet = sub.add_parser(
@@ -1054,6 +1249,163 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(coverage_hunt)
     coverage_hunt.set_defaults(func=cmd_coverage_hunt)
+
+    db = sub.add_parser(
+        "db",
+        help="the profile corpus database: ingest, query, diff runs",
+        description="A sqlite-backed corpus of run summaries: ingest "
+        "captures (idempotently, keyed by content fingerprint), slice "
+        "per-function rows with composable filters, and diff two pools "
+        "of runs with a statistical regression gate.",
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+
+    def _db_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--db", required=True, metavar="FILE",
+            help="the corpus database file (created on first ingest)",
+        )
+
+    db_ingest = db_sub.add_parser(
+        "ingest",
+        help="decode capture files/directories into the corpus",
+        description="Decode each capture on the columnar fast path and "
+        "persist its per-function summary as one run, keyed by the "
+        "SHA-256 of the file bytes — re-ingesting the same corpus "
+        "changes nothing.  Exit codes: 0 all ingested or already "
+        "present, 1 some captures failed, 2 nothing found.",
+    )
+    db_ingest.add_argument(
+        "paths", nargs="+",
+        help="capture files and/or directories (swept for *.mpf)",
+    )
+    _db_common(db_ingest)
+    db_ingest.add_argument(
+        "--names", action="append", required=True,
+        help="name/tag file(s) to decode with (repeatable, concatenated)",
+    )
+    db_ingest.add_argument(
+        "--workload", default=None, metavar="TAG",
+        help="override the workload tag parsed from each capture label",
+    )
+    db_ingest.add_argument(
+        "--salvage", action="store_true",
+        help="route damaged captures through the salvaging decoder "
+        "instead of failing them",
+    )
+    _add_telemetry_flags(db_ingest)
+    db_ingest.set_defaults(func=cmd_db_ingest)
+
+    db_runs = db_sub.add_parser(
+        "runs",
+        help="list ingested runs (fingerprints, labels, workloads)",
+    )
+    _db_common(db_runs)
+    db_runs.add_argument("--workload", default=None, help="filter by workload tag")
+    db_runs.add_argument("--label", default=None, help="filter by capture label")
+    db_runs.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON catalog (stable schema) instead of text",
+    )
+    db_runs.set_defaults(func=cmd_db_runs)
+
+    db_query = db_sub.add_parser(
+        "query",
+        help="filter/sort per-function rows across the corpus",
+        description="Per-function rows joined with their run, filtered "
+        "by workload/label, a shell glob on the function name and a "
+        "%net floor, sorted by any numeric column.  Output order is a "
+        "pure function of the database contents.",
+    )
+    _db_common(db_query)
+    db_query.add_argument("--workload", default=None, help="filter by workload tag")
+    db_query.add_argument("--label", default=None, help="filter by capture label")
+    db_query.add_argument(
+        "--function", default=None, metavar="GLOB",
+        help="shell glob on the function name (vm_*, *intr*)",
+    )
+    db_query.add_argument(
+        "--min-pct-net", type=float, default=None, metavar="PCT",
+        help="drop rows below this %%net floor",
+    )
+    db_query.add_argument(
+        "--sort", choices=sorted(DB_FUNCTION_SORTS), default="net",
+        help="sort column (default net)",
+    )
+    db_query.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="print at most N rows",
+    )
+    db_query.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON rows (stable schema) instead of text",
+    )
+    _add_telemetry_flags(db_query)
+    db_query.set_defaults(func=cmd_db_query)
+
+    db_diff = db_sub.add_parser(
+        "diff",
+        help="diff two pools of runs with a statistical regression gate",
+        description="Each selector (a fingerprint prefix, a label, a "
+        "workload tag, or label:/workload:/run: explicitly) resolves to "
+        "a pool of runs; repeated runs pool into a noise estimate and a "
+        "function must move beyond --sigma standard errors AND the "
+        "relative floor to count.  Exit codes: 0 no movement beyond "
+        "noise, 1 benign movement, 2 confirmed regression.",
+    )
+    db_diff.add_argument(
+        "baseline", nargs="?", default=None,
+        help="baseline selector (or the candidate when --baseline-label "
+        "is given)",
+    )
+    db_diff.add_argument(
+        "candidate", nargs="?", default=None, help="candidate selector"
+    )
+    _db_common(db_diff)
+    db_diff.add_argument(
+        "--baseline-label", default=None, metavar="LABEL",
+        help="sugar: use label:LABEL as the baseline and the single "
+        "positional as the candidate",
+    )
+    db_diff.add_argument(
+        "--sigma", type=float, default=3.0,
+        help="standard errors a pooled change must clear (default 3.0)",
+    )
+    db_diff.add_argument(
+        "--min-rel", type=float, default=0.05,
+        help="relative-change floor alongside the z-test (default 0.05)",
+    )
+    db_diff.add_argument(
+        "--singleton-rel", type=float, default=0.20,
+        help="relative threshold when either side is a single run "
+        "(default 0.20)",
+    )
+    db_diff.add_argument(
+        "--min-abs-us", type=int, default=25,
+        help="absolute net-time floor in microseconds (default 25)",
+    )
+    db_diff.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="rows in the delta table (text default 10; JSON default all)",
+    )
+    db_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON report (stable schema) instead of text",
+    )
+    _add_telemetry_flags(db_diff)
+    db_diff.set_defaults(func=cmd_db_diff)
+
+    db_check = db_sub.add_parser(
+        "check",
+        help="P7xx integrity pass: schema drift, orphan rows, label "
+        "collisions",
+    )
+    _db_common(db_check)
+    db_check.add_argument(
+        "--json", action="store_true",
+        help="emit the JSON report (stable schema) instead of text",
+    )
+    db_check.set_defaults(func=cmd_db_check)
 
     workloads = sub.add_parser(
         "workloads",

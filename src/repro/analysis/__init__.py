@@ -51,7 +51,13 @@ from repro.analysis.summary import (
 from repro.analysis.trace import format_trace, trace_lines
 from repro.analysis.histogram import FunctionHistogram, histogram_for
 from repro.analysis.graph import call_graph, subsystem_rollup
-from repro.analysis.compare import FunctionDelta, ProfileComparison, compare_summaries
+from repro.analysis.compare import (
+    FunctionDelta,
+    ProfileComparison,
+    WorkloadMismatchWarning,
+    compare_summaries,
+    json_safe,
+)
 from repro.analysis.folded import flame_ascii, hot_stacks, to_folded
 from repro.analysis.gprof import GprofReport, gprof_report
 from repro.analysis.reports import full_report
@@ -85,7 +91,9 @@ __all__ = [
     "FunctionDelta",
     "GprofReport",
     "ProfileComparison",
+    "WorkloadMismatchWarning",
     "compare_summaries",
+    "json_safe",
     "flame_ascii",
     "full_report",
     "gprof_report",

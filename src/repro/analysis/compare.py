@@ -9,14 +9,54 @@ measurements may be made to test the success of such changes."
 workload (before and after a change) and reports, per function and
 overall, what the change bought — the report format is the Figure 3
 table with delta columns.
+
+Two comparability rules the diff enforces rather than papering over:
+
+* A function present on only one side is **appeared** or **vanished**,
+  never "measured 0 µs".  Its ``speedup`` is ``None`` — a new hot
+  function is not an infinite speedup of nothing — and the table marks
+  the row ``new``/``gone`` instead of printing a zero.
+* Ratios are only ever non-finite when a *measured* time is zero
+  (``speedup`` of a function that ran in 0 µs after the change).  JSON
+  reporters must route every ratio through :func:`json_safe` — Python's
+  ``json.dumps`` happily emits bare ``Infinity``, which no JSON parser
+  is required to accept.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+import warnings
 from typing import Optional
 
 from repro.analysis.summary import FunctionStats, ProfileSummary
+
+#: ``FunctionDelta.status`` values, in table-sort order.
+DELTA_STATUSES = ("common", "appeared", "vanished")
+
+
+class WorkloadMismatchWarning(UserWarning):
+    """Two summaries from different workloads were diffed.
+
+    The comparison still runs — cross-workload diffs are occasionally
+    what you want — but a before/after measurement of *a change* is only
+    meaningful against the same workload, so the mismatch is never
+    silent.
+    """
+
+
+def json_safe(value: Optional[float]) -> Optional[float]:
+    """A ratio as JSON can carry it: ``None`` for non-finite or absent.
+
+    ``json.dumps(float("inf"))`` emits bare ``Infinity``, which is not
+    JSON; every reporter that serialises a speedup routes it through
+    here so a zero-time denominator degrades to ``null`` instead of an
+    unparseable document.
+    """
+    if value is None or not math.isfinite(value):
+        return None
+    return value
 
 
 @dataclasses.dataclass
@@ -28,6 +68,20 @@ class FunctionDelta:
     after: Optional[FunctionStats]
 
     @property
+    def status(self) -> str:
+        """``common``, ``appeared`` (after only) or ``vanished`` (before only).
+
+        Distinguishes "absent from one run" from "present but measured
+        0 µs": an appeared/vanished function has no ratio to speak of,
+        while a measured zero is a real (if extreme) data point.
+        """
+        if self.before is None and self.after is not None:
+            return "appeared"
+        if self.after is None and self.before is not None:
+            return "vanished"
+        return "common"
+
+    @property
     def net_before_us(self) -> int:
         return self.before.net_us if self.before else 0
 
@@ -36,13 +90,31 @@ class FunctionDelta:
         return self.after.net_us if self.after else 0
 
     @property
+    def calls_before(self) -> int:
+        return self.before.calls if self.before else 0
+
+    @property
+    def calls_after(self) -> int:
+        return self.after.calls if self.after else 0
+
+    @property
     def net_delta_us(self) -> int:
         """Negative = the change made this function cheaper."""
         return self.net_after_us - self.net_before_us
 
     @property
-    def speedup(self) -> float:
-        """before/after net ratio (>1 = faster after)."""
+    def speedup(self) -> Optional[float]:
+        """before/after net ratio (>1 = faster after).
+
+        ``None`` when the function is absent from one side — an
+        appeared or vanished function has no before/after ratio, and
+        reporting infinity there mistakes "new code" for "infinitely
+        optimised code".  A *measured* zero after-time with a non-zero
+        before still yields ``inf`` (the function really did collapse
+        to nothing); JSON reporters render that via :func:`json_safe`.
+        """
+        if self.before is None or self.after is None:
+            return None
         if self.net_after_us == 0:
             return float("inf") if self.net_before_us else 1.0
         return self.net_before_us / self.net_after_us
@@ -63,22 +135,38 @@ class ProfileComparison:
 
     @property
     def wall_speedup(self) -> float:
+        """before/after wall ratio; two zero-length runs compare equal."""
         if self.after.wall_us == 0:
-            return float("inf")
+            return float("inf") if self.before.wall_us else 1.0
         return self.before.wall_us / self.after.wall_us
 
     @property
     def busy_delta_us(self) -> int:
         return self.after.busy_us - self.before.busy_us
 
+    def appeared(self) -> list[FunctionDelta]:
+        """Functions present only after the change, hottest first."""
+        rows = [d for d in self.deltas.values() if d.status == "appeared"]
+        return sorted(rows, key=lambda d: (-d.net_after_us, d.name))
+
+    def vanished(self) -> list[FunctionDelta]:
+        """Functions present only before the change, hottest first."""
+        rows = [d for d in self.deltas.values() if d.status == "vanished"]
+        return sorted(rows, key=lambda d: (-d.net_before_us, d.name))
+
     def biggest_movers(self, n: int = 10) -> list[FunctionDelta]:
         """Functions whose net time moved the most, either direction."""
         return sorted(
-            self.deltas.values(), key=lambda d: -abs(d.net_delta_us)
+            self.deltas.values(), key=lambda d: (-abs(d.net_delta_us), d.name)
         )[:n]
 
     def format(self, limit: int = 10) -> str:
-        """Render the before/after table."""
+        """Render the before/after table (the Figure 3 delta layout).
+
+        Appeared/vanished functions print ``new``/``gone`` in place of
+        the side they are absent from, so a function that entered the
+        profile is never mistaken for one that ran in zero time.
+        """
         out = [
             f"Elapsed: {self.before.wall_us} us -> {self.after.wall_us} us "
             f"({self.wall_speedup:.2f}x)",
@@ -87,17 +175,78 @@ class ProfileComparison:
             f"{'net before':>11} {'net after':>10} {'delta':>9}   name",
         ]
         for delta in self.biggest_movers(limit):
+            before_cell = (
+                "new" if delta.status == "appeared" else str(delta.net_before_us)
+            )
+            after_cell = (
+                "gone" if delta.status == "vanished" else str(delta.net_after_us)
+            )
+            suffix = "" if delta.status == "common" else f"  [{delta.status}]"
             out.append(
-                f"{delta.net_before_us:>11} {delta.net_after_us:>10} "
-                f"{delta.net_delta_us:>+9}   {delta.name}"
+                f"{before_cell:>11} {after_cell:>10} "
+                f"{delta.net_delta_us:>+9}   {delta.name}{suffix}"
             )
         return "\n".join(out)
 
+    def to_json(self, limit: Optional[int] = None) -> dict:
+        """A JSON-serialisable document of the comparison (stable schema).
+
+        Every ratio passes through :func:`json_safe`, so the document
+        never carries bare ``Infinity``/``NaN``.
+        """
+        movers = self.biggest_movers(len(self.deltas))
+        if limit is not None:
+            movers = movers[:limit]
+        return {
+            "wall_before_us": self.before.wall_us,
+            "wall_after_us": self.after.wall_us,
+            "wall_delta_us": self.wall_delta_us,
+            "wall_speedup": json_safe(self.wall_speedup),
+            "busy_before_us": self.before.busy_us,
+            "busy_after_us": self.after.busy_us,
+            "busy_delta_us": self.busy_delta_us,
+            "functions": [
+                {
+                    "name": d.name,
+                    "status": d.status,
+                    "net_before_us": None if d.status == "appeared" else d.net_before_us,
+                    "net_after_us": None if d.status == "vanished" else d.net_after_us,
+                    "net_delta_us": d.net_delta_us,
+                    "calls_before": None if d.status == "appeared" else d.calls_before,
+                    "calls_after": None if d.status == "vanished" else d.calls_after,
+                    "speedup": json_safe(d.speedup),
+                }
+                for d in movers
+            ],
+        }
+
 
 def compare_summaries(
-    before: ProfileSummary, after: ProfileSummary
+    before: ProfileSummary,
+    after: ProfileSummary,
+    *,
+    before_workload: Optional[str] = None,
+    after_workload: Optional[str] = None,
 ) -> ProfileComparison:
-    """Diff two summaries of the same workload."""
+    """Diff two summaries of the same workload.
+
+    When both workload tags are supplied and disagree, a
+    :class:`WorkloadMismatchWarning` is issued — the diff still runs,
+    but a before/after claim across different workloads is never made
+    silently.
+    """
+    if (
+        before_workload is not None
+        and after_workload is not None
+        and before_workload != after_workload
+    ):
+        warnings.warn(
+            f"comparing summaries from different workloads "
+            f"({before_workload!r} vs {after_workload!r}); before/after "
+            f"deltas are only meaningful within one workload",
+            WorkloadMismatchWarning,
+            stacklevel=2,
+        )
     names = set(before.functions) | set(after.functions)
     deltas = {
         name: FunctionDelta(

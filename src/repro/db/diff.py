@@ -1,0 +1,383 @@
+"""Differential regression detection over the profile corpus.
+
+``repro db diff BASELINE CANDIDATE`` turns the paper's one-shot Figure 3
+before/after table into a *gate*: each side of the diff is a pool of
+runs (a label that names three repeat runs pools all three), per-function
+net times are compared against the pool's own noise, and the overall
+verdict maps to an exit code CI can branch on:
+
+* **0** — no statistically meaningful movement;
+* **1** — meaningful movement, none of it bad (improvements, functions
+  vanishing, small newcomers worth a look);
+* **2** — a confirmed regression: a function got slower beyond the
+  noise, a new function arrived hot, or wall time grew.
+
+Statistics, deliberately boring: with repeated runs on both sides the
+noise estimate is the two-sample standard error of the pooled net times
+and a change must clear ``sigma`` standard errors *and* a relative
+floor; when either side is a singleton there is no noise estimate, so
+the fallback is a stiffer pure-relative threshold.  Everything is
+integer/float arithmetic over the database rows — the same corpus
+produces the same verdicts, byte for byte, whatever order it was
+ingested in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import sqlite3
+
+from repro.analysis.compare import ProfileComparison, compare_summaries
+from repro.analysis.summary import FunctionStats, ProfileSummary
+from repro.db.query import RunRow, resolve_runs
+from repro.db.schema import ProfileDbError
+
+#: Verdict strings, in report/severity order.
+VERDICTS = ("regression", "appeared", "vanished", "improvement", "unchanged")
+
+_SEVERITY = {verdict: rank for rank, verdict in enumerate(VERDICTS)}
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffThresholds:
+    """The knobs a change must clear to count as movement.
+
+    ``sigma`` — standard errors (pooled runs on both sides);
+    ``min_rel`` — relative-change floor applied alongside the z-test;
+    ``singleton_rel`` — the stiffer relative threshold used when either
+    side has a single run (no noise estimate);
+    ``min_abs_us`` — absolute floor, so a 2 µs function jumping to 4 µs
+    never pages anyone;
+    ``hot_fraction`` — an *appeared* function is a confirmed regression
+    when its net time exceeds this fraction of the baseline's busy time.
+    """
+
+    sigma: float = 3.0
+    min_rel: float = 0.05
+    singleton_rel: float = 0.20
+    min_abs_us: int = 25
+    hot_fraction: float = 0.05
+
+
+@dataclasses.dataclass(frozen=True)
+class SideStats:
+    """One function's pooled measurements on one side of the diff."""
+
+    runs: int
+    mean_net_us: float
+    std_net_us: Optional[float]  # sample std; None when runs < 2
+
+    @property
+    def has_noise(self) -> bool:
+        return self.std_net_us is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionVerdict:
+    """The diff's ruling on one function."""
+
+    name: str
+    status: str  # common / appeared / vanished
+    before: Optional[SideStats]
+    after: Optional[SideStats]
+    delta_us: float
+    rel_change: Optional[float]
+    zscore: Optional[float]
+    verdict: str
+    confirmed: bool
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self.verdict]
+
+
+@dataclasses.dataclass
+class DiffReport:
+    """Everything one ``repro db diff`` produced."""
+
+    baseline: List[RunRow]
+    candidate: List[RunRow]
+    baseline_selector: str
+    candidate_selector: str
+    thresholds: DiffThresholds
+    comparison: ProfileComparison
+    verdicts: List[FunctionVerdict]
+    wall_verdict: str  # regression / improvement / unchanged
+    wall_zscore: Optional[float]
+    workload_mismatch: bool
+
+    @property
+    def regressions(self) -> List[FunctionVerdict]:
+        return [
+            v for v in self.verdicts if v.confirmed and v.verdict == "regression"
+        ]
+
+    @property
+    def confirmed_appearances(self) -> List[FunctionVerdict]:
+        return [
+            v for v in self.verdicts if v.confirmed and v.verdict == "appeared"
+        ]
+
+    @property
+    def movements(self) -> List[FunctionVerdict]:
+        """Every confirmed non-regression movement."""
+        return [
+            v
+            for v in self.verdicts
+            if v.confirmed and v.verdict not in ("regression", "unchanged")
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        """0 quiet, 1 meaningful-but-benign movement, 2 confirmed regression."""
+        if (
+            self.regressions
+            or self.confirmed_appearances
+            or self.wall_verdict == "regression"
+        ):
+            return 2
+        if self.movements or self.wall_verdict == "improvement":
+            return 1
+        return 0
+
+
+def _pool(values: List[float]) -> SideStats:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return SideStats(runs=n, mean_net_us=mean, std_net_us=None)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return SideStats(runs=n, mean_net_us=mean, std_net_us=math.sqrt(variance))
+
+
+def _significant(
+    before: SideStats,
+    after: SideStats,
+    thresholds: DiffThresholds,
+) -> Tuple[bool, Optional[float], Optional[float]]:
+    """(significant?, relative change, z-score) for one common function."""
+    delta = after.mean_net_us - before.mean_net_us
+    magnitude = abs(delta)
+    if magnitude < thresholds.min_abs_us:
+        return False, None, None
+    base = max(abs(before.mean_net_us), 1.0)
+    rel = magnitude / base
+    if before.has_noise and after.has_noise:
+        stderr = math.sqrt(
+            (before.std_net_us ** 2) / before.runs
+            + (after.std_net_us ** 2) / after.runs
+        )
+        if stderr == 0.0:
+            # Perfectly repeatable runs: any relative movement is real.
+            return rel >= thresholds.min_rel, rel, None
+        z = magnitude / stderr
+        return (
+            z >= thresholds.sigma and rel >= thresholds.min_rel,
+            rel,
+            z,
+        )
+    # Singleton on at least one side: no noise estimate, stiffer bar.
+    return rel >= thresholds.singleton_rel, rel, None
+
+
+def _side_functions(
+    conn: sqlite3.Connection, runs: List[RunRow]
+) -> Dict[str, List[float]]:
+    """name -> per-run net_us across *runs* (absent-in-a-run counts 0).
+
+    A function missing from one of a side's runs really did cost that
+    run nothing, so the pool pads with zeros up to the run count —
+    otherwise a function that fires in one run out of five would look
+    perfectly stable.
+    """
+    if not runs:
+        return {}
+    marks = ",".join("?" for _ in runs)
+    rows = conn.execute(
+        f"SELECT r.fingerprint, f.name, f.net_us"
+        f" FROM functions f JOIN runs r ON r.id = f.run_id"
+        f" WHERE r.fingerprint IN ({marks})"
+        f" ORDER BY r.fingerprint, f.name",
+        [run.fingerprint for run in runs],
+    ).fetchall()
+    pools: Dict[str, List[float]] = {}
+    for _, name, net_us in rows:
+        pools.setdefault(name, []).append(float(net_us))
+    count = len(runs)
+    for values in pools.values():
+        while len(values) < count:
+            values.append(0.0)
+    return pools
+
+
+def _mean_summary(
+    conn: sqlite3.Connection, runs: List[RunRow]
+) -> ProfileSummary:
+    """The side's runs averaged into one Figure 3 summary (integer µs)."""
+    count = len(runs)
+    marks = ",".join("?" for _ in runs)
+    rows = conn.execute(
+        f"SELECT f.name, SUM(f.calls), SUM(f.elapsed_us), SUM(f.net_us),"
+        f" MAX(f.max_us), MIN(f.min_us)"
+        f" FROM functions f JOIN runs r ON r.id = f.run_id"
+        f" WHERE r.fingerprint IN ({marks})"
+        f" GROUP BY f.name ORDER BY f.name",
+        [run.fingerprint for run in runs],
+    ).fetchall()
+    functions = {
+        name: FunctionStats(
+            name=name,
+            calls=round(calls / count),
+            elapsed_us=round(elapsed / count),
+            net_us=round(net / count),
+            max_us=max_us,
+            min_us=min_us,
+        )
+        for name, calls, elapsed, net, max_us, min_us in rows
+    }
+    return ProfileSummary(
+        wall_us=round(sum(r.wall_us for r in runs) / count),
+        busy_us=round(sum(r.busy_us for r in runs) / count),
+        idle_us=round(sum(r.idle_us for r in runs) / count),
+        event_count=round(sum(r.event_count for r in runs) / count),
+        functions=functions,
+    )
+
+
+def _wall_verdict(
+    baseline: List[RunRow],
+    candidate: List[RunRow],
+    thresholds: DiffThresholds,
+) -> Tuple[str, Optional[float]]:
+    before = _pool([float(r.wall_us) for r in baseline])
+    after = _pool([float(r.wall_us) for r in candidate])
+    significant, _, z = _significant(before, after, thresholds)
+    if not significant:
+        return "unchanged", z
+    if after.mean_net_us > before.mean_net_us:
+        return "regression", z
+    return "improvement", z
+
+
+def _workloads(runs: List[RunRow]) -> str:
+    return ",".join(sorted({run.workload for run in runs}))
+
+
+def diff_runs(
+    conn: sqlite3.Connection,
+    baseline_selector: str,
+    candidate_selector: str,
+    *,
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> DiffReport:
+    """Diff two pools of runs and rule on every function.
+
+    Selectors resolve through :func:`repro.db.query.resolve_runs` — a
+    fingerprint prefix pins one run, a label or workload tag pools every
+    matching run.  The two pools must be disjoint (diffing a run against
+    itself would hide any movement inside a zero delta).
+    """
+    baseline = resolve_runs(conn, baseline_selector)
+    candidate = resolve_runs(conn, candidate_selector)
+    overlap = {r.fingerprint for r in baseline} & {
+        r.fingerprint for r in candidate
+    }
+    if overlap:
+        sample = sorted(overlap)[0][:12]
+        raise ProfileDbError(
+            f"baseline and candidate share {len(overlap)} run(s) "
+            f"(e.g. {sample}); the two sides of a diff must be disjoint"
+        )
+    before_pool = _side_functions(conn, baseline)
+    after_pool = _side_functions(conn, candidate)
+    busy_before = sum(r.busy_us for r in baseline) / len(baseline)
+
+    verdicts: List[FunctionVerdict] = []
+    for name in sorted(set(before_pool) | set(after_pool)):
+        before_values = before_pool.get(name)
+        after_values = after_pool.get(name)
+        if before_values is None:
+            after = _pool(after_values)
+            hot = after.mean_net_us >= max(
+                float(thresholds.min_abs_us),
+                thresholds.hot_fraction * busy_before,
+            )
+            verdicts.append(
+                FunctionVerdict(
+                    name=name,
+                    status="appeared",
+                    before=None,
+                    after=after,
+                    delta_us=after.mean_net_us,
+                    rel_change=None,
+                    zscore=None,
+                    verdict="appeared",
+                    confirmed=hot,
+                )
+            )
+            continue
+        if after_values is None:
+            before = _pool(before_values)
+            verdicts.append(
+                FunctionVerdict(
+                    name=name,
+                    status="vanished",
+                    before=before,
+                    after=None,
+                    delta_us=-before.mean_net_us,
+                    rel_change=None,
+                    zscore=None,
+                    verdict="vanished",
+                    confirmed=before.mean_net_us >= thresholds.min_abs_us,
+                )
+            )
+            continue
+        before = _pool(before_values)
+        after = _pool(after_values)
+        significant, rel, z = _significant(before, after, thresholds)
+        delta = after.mean_net_us - before.mean_net_us
+        if not significant:
+            verdict = "unchanged"
+        elif delta > 0:
+            verdict = "regression"
+        else:
+            verdict = "improvement"
+        verdicts.append(
+            FunctionVerdict(
+                name=name,
+                status="common",
+                before=before,
+                after=after,
+                delta_us=delta,
+                rel_change=rel,
+                zscore=z,
+                verdict=verdict,
+                confirmed=significant,
+            )
+        )
+    verdicts.sort(key=lambda v: (v.severity, -abs(v.delta_us), v.name))
+
+    wall_verdict, wall_z = _wall_verdict(baseline, candidate, thresholds)
+    before_workloads = _workloads(baseline)
+    after_workloads = _workloads(candidate)
+    comparison = compare_summaries(
+        _mean_summary(conn, baseline),
+        _mean_summary(conn, candidate),
+        before_workload=before_workloads,
+        after_workload=after_workloads,
+    )
+    return DiffReport(
+        baseline=baseline,
+        candidate=candidate,
+        baseline_selector=baseline_selector,
+        candidate_selector=candidate_selector,
+        thresholds=thresholds,
+        comparison=comparison,
+        verdicts=verdicts,
+        wall_verdict=wall_verdict,
+        wall_zscore=wall_z,
+        workload_mismatch=before_workloads != after_workloads,
+    )

@@ -1,0 +1,236 @@
+"""Text and JSON renderers for the profile-database commands.
+
+All output is a pure function of the database *contents*: runs are
+identified by content fingerprints (never row ids), every listing is
+explicitly sorted, and every ratio passes through
+:func:`repro.analysis.compare.json_safe` so the JSON documents never
+carry bare ``Infinity``.  The determinism suite byte-diffs these
+renderings across ingest orders.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.analysis.compare import json_safe
+from repro.db.diff import DiffReport, FunctionVerdict
+from repro.db.query import FunctionRow, RunRow
+
+#: Bumped when a JSON document's shape changes (consumer contract).
+JSON_SCHEMA_VERSION = 1
+
+
+def _round(value: Optional[float], digits: int = 2) -> Optional[float]:
+    safe = json_safe(value)
+    return None if safe is None else round(safe, digits)
+
+
+# -- run catalog -------------------------------------------------------------
+
+
+def render_runs_text(runs: List[RunRow]) -> str:
+    lines = [
+        f"{'run':>12} {'workload':<14} {'events':>8} {'wall us':>10} "
+        f"{'busy us':>10} {'flags':<10} label"
+    ]
+    for run in runs:
+        flags = []
+        if run.salvaged:
+            flags.append("salvaged")
+        if run.overflowed:
+            flags.append("overflow")
+        if run.mpf_version == 1:
+            flags.append("mpf1")
+        lines.append(
+            f"{run.short:>12} {run.workload:<14} {run.event_count:>8} "
+            f"{run.wall_us:>10} {run.busy_us:>10} "
+            f"{','.join(flags) or '-':<10} {run.label or '-'}"
+        )
+    lines.append(f"{len(runs)} run(s)")
+    return "\n".join(lines)
+
+
+def render_runs_json(runs: List[RunRow]) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-db",
+        "runs": [
+            {
+                "fingerprint": run.fingerprint,
+                "path": run.path,
+                "label": run.label,
+                "workload": run.workload,
+                "mpf_version": run.mpf_version,
+                "counter_width_bits": run.counter_width_bits,
+                "counter_rate_hz": run.counter_rate_hz,
+                "overflowed": run.overflowed,
+                "salvaged": run.salvaged,
+                "defects": run.defects,
+                "wall_us": run.wall_us,
+                "busy_us": run.busy_us,
+                "idle_us": run.idle_us,
+                "event_count": run.event_count,
+            }
+            for run in runs
+        ],
+    }
+    return json.dumps(document, indent=1)
+
+
+# -- function queries --------------------------------------------------------
+
+
+def render_query_text(rows: List[FunctionRow]) -> str:
+    lines = [
+        f"{'net us':>9} {'calls':>8} {'% net':>7} {'% real':>7} "
+        f"{'run':>12} {'workload':<12} name"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.net_us:>9} {row.calls:>8} {row.pct_net:>6.2f}% "
+            f"{row.pct_real:>6.2f}% {row.run_fingerprint[:12]:>12} "
+            f"{row.workload:<12} {row.name}"
+        )
+    lines.append(f"{len(rows)} row(s)")
+    return "\n".join(lines)
+
+
+def render_query_json(rows: List[FunctionRow]) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-db",
+        "functions": [
+            {
+                "name": row.name,
+                "run": row.run_fingerprint,
+                "label": row.run_label,
+                "workload": row.workload,
+                "calls": row.calls,
+                "elapsed_us": row.elapsed_us,
+                "net_us": row.net_us,
+                "max_us": row.max_us,
+                "min_us": row.min_us,
+                "pct_real": round(row.pct_real, 4),
+                "pct_net": round(row.pct_net, 4),
+            }
+            for row in rows
+        ],
+    }
+    return json.dumps(document, indent=1)
+
+
+# -- the diff report ---------------------------------------------------------
+
+
+def _describe_side(selector: str, runs: List[RunRow]) -> str:
+    workloads = ",".join(sorted({r.workload for r in runs}))
+    ids = " ".join(r.short for r in runs[:4])
+    more = f" +{len(runs) - 4}" if len(runs) > 4 else ""
+    return f"{selector!r}: {len(runs)} run(s) [{workloads}] {ids}{more}"
+
+
+def _verdict_line(v: FunctionVerdict) -> str:
+    if v.status == "appeared":
+        detail = f"new at {v.after.mean_net_us:.0f} us net"
+    elif v.status == "vanished":
+        detail = f"gone (was {v.before.mean_net_us:.0f} us net)"
+    else:
+        rel = f"{100.0 * v.rel_change:+.1f}%" if v.rel_change is not None else "?"
+        z = f", z={v.zscore:.1f}" if v.zscore is not None else ""
+        sign_rel = rel if v.delta_us >= 0 else rel.replace("+", "-", 1)
+        detail = (
+            f"{v.before.mean_net_us:.0f} -> {v.after.mean_net_us:.0f} us net "
+            f"({v.delta_us:+.0f} us, {sign_rel}{z})"
+        )
+    return f"  {v.verdict:<11} {v.name}: {detail}"
+
+
+def render_diff_text(report: DiffReport, *, limit: int = 10) -> str:
+    lines = [
+        f"baseline  {_describe_side(report.baseline_selector, report.baseline)}",
+        f"candidate {_describe_side(report.candidate_selector, report.candidate)}",
+    ]
+    if report.workload_mismatch:
+        lines.append(
+            "warning: the two sides ran different workloads; deltas below "
+            "compare unlike work"
+        )
+    lines.append(report.comparison.format(limit=limit))
+    movements = [v for v in report.verdicts if v.confirmed]
+    if movements:
+        lines.append("confirmed movement (beyond noise):")
+        lines.extend(_verdict_line(v) for v in movements)
+    else:
+        lines.append("no movement beyond noise")
+    if report.wall_verdict != "unchanged":
+        z = (
+            f" (z={report.wall_zscore:.1f})"
+            if report.wall_zscore is not None
+            else ""
+        )
+        lines.append(f"wall time: {report.wall_verdict}{z}")
+    code = report.exit_code
+    ruling = {0: "clean", 1: "movement, no regression", 2: "REGRESSION"}[code]
+    lines.append(f"verdict: {ruling} (exit {code})")
+    return "\n".join(lines)
+
+
+def _side_json(v_side) -> Optional[dict]:
+    if v_side is None:
+        return None
+    return {
+        "runs": v_side.runs,
+        "mean_net_us": round(v_side.mean_net_us, 2),
+        "std_net_us": _round(v_side.std_net_us),
+    }
+
+
+def render_diff_json(report: DiffReport, *, limit: Optional[int] = None) -> str:
+    verdicts = report.verdicts
+    if limit is not None:
+        verdicts = verdicts[:limit]
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro-db",
+        "baseline": {
+            "selector": report.baseline_selector,
+            "runs": [r.fingerprint for r in report.baseline],
+            "workloads": sorted({r.workload for r in report.baseline}),
+        },
+        "candidate": {
+            "selector": report.candidate_selector,
+            "runs": [r.fingerprint for r in report.candidate],
+            "workloads": sorted({r.workload for r in report.candidate}),
+        },
+        "thresholds": {
+            "sigma": report.thresholds.sigma,
+            "min_rel": report.thresholds.min_rel,
+            "singleton_rel": report.thresholds.singleton_rel,
+            "min_abs_us": report.thresholds.min_abs_us,
+            "hot_fraction": report.thresholds.hot_fraction,
+        },
+        "workload_mismatch": report.workload_mismatch,
+        "wall": {
+            "verdict": report.wall_verdict,
+            "zscore": _round(report.wall_zscore),
+            "speedup": _round(report.comparison.wall_speedup, 4),
+        },
+        "summary": report.comparison.to_json(limit=limit),
+        "functions": [
+            {
+                "name": v.name,
+                "status": v.status,
+                "verdict": v.verdict,
+                "confirmed": v.confirmed,
+                "delta_us": round(v.delta_us, 2),
+                "rel_change": _round(v.rel_change, 4),
+                "zscore": _round(v.zscore),
+                "before": _side_json(v.before),
+                "after": _side_json(v.after),
+            }
+            for v in verdicts
+        ],
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(document, indent=1)

@@ -18,7 +18,9 @@ properties *statically*, before (or instead of) a run:
 6. :mod:`repro.lint.fleet_lint` — fleet ingestion plans and results
    (empty corpora, failed captures, mixed counter geometries);
 7. :mod:`repro.lint.coverage_lint` — profile coverage of a capture
-   corpus (dead instrumentation, blind spots, redundant workloads).
+   corpus (dead instrumentation, blind spots, redundant workloads);
+8. :mod:`repro.lint.db_lint` — profile-database integrity (schema
+   drift, orphan rows, label collisions).
 
 Every finding is a :class:`~repro.lint.diagnostics.Diagnostic` with a
 stable ``P0xx``-style code and a severity; :mod:`repro.lint.runner`
@@ -36,6 +38,7 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.ast_lint import lint_kernel_source, lint_source_text
 from repro.lint.coverage_lint import lint_coverage_corpus
+from repro.lint.db_lint import lint_profile_db
 from repro.lint.fleet_lint import lint_fleet_plan, lint_fleet_result
 from repro.lint.link_lint import lint_layout, lint_link
 from repro.lint.namefile_lint import (
@@ -82,6 +85,7 @@ __all__ = [
     "lint_name_files",
     "lint_name_table",
     "lint_paths",
+    "lint_profile_db",
     "lint_records",
     "lint_self_check",
     "lint_source_text",

@@ -85,6 +85,12 @@ CODE_TABLE: dict[str, tuple[Severity, str]] = {
     "P603": (Severity.INFO, "workload contributes no unique tags"),
     "P604": (Severity.ERROR, "namefile tag absent from the call graph"),
     "P605": (Severity.ERROR, "capture unusable for coverage accounting"),
+    # -- P7xx: profile corpus database ---------------------------------------
+    "P701": (Severity.ERROR, "profile database schema version drift"),
+    "P702": (Severity.ERROR, "function rows orphaned from any run"),
+    "P703": (Severity.WARNING, "run label reused across workloads"),
+    "P704": (Severity.WARNING, "ingested run has no function rows"),
+    "P705": (Severity.INFO, "label has a single run (no noise estimate)"),
 }
 
 

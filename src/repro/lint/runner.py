@@ -62,6 +62,8 @@ class LintOptions:
     decode: str = DEFAULT_DECODE
     #: Capture-corpus directory for the coverage pass (None disables it).
     coverage_corpus: Optional[Union[str, Path]] = None
+    #: Profile database file for the P7xx integrity pass (None disables it).
+    db: Optional[Union[str, Path]] = None
 
 
 def lenient_name_table(paths: Sequence[Union[str, Path]]) -> NameTable:

@@ -91,6 +91,58 @@ def synth_capture_records(index: int, events: int) -> list[RawRecord]:
     return records
 
 
+def regression_records(
+    run: int, *, spin_us: int, calls: int = 4
+) -> list[RawRecord]:
+    """Records for one run of the db-diff regression substrate.
+
+    ``main`` wraps *calls* alternating ``work``/``spin`` pairs; ``work``
+    always costs ~100 µs, ``spin`` costs *spin_us* — the seeded-slowdown
+    knob.  Per-run jitter of a few µs (deterministic in *run*) gives a
+    pool of repeated runs a real, small noise estimate, so raising
+    ``spin_us`` on one side is movement far beyond noise while every
+    other function stays inside it.
+    """
+    names = fleet_names()
+    main = names.by_name("main")
+    work = names.by_name("work")
+    spin = names.by_name("spin")
+    jitter = run % 3  # 0/1/2 us: nonzero sample std across >= 3 runs
+    t = 0
+    records = [RawRecord(tag=main.entry_value, time=t)]
+    for _ in range(calls):
+        t += 10
+        records.append(RawRecord(tag=work.entry_value, time=t & TIME_MASK))
+        t += 100 + jitter
+        records.append(RawRecord(tag=work.exit_value, time=t & TIME_MASK))
+        t += 10
+        records.append(RawRecord(tag=spin.entry_value, time=t & TIME_MASK))
+        t += spin_us + jitter
+        records.append(RawRecord(tag=spin.exit_value, time=t & TIME_MASK))
+    t += 10
+    records.append(RawRecord(tag=main.exit_value, time=t & TIME_MASK))
+    return records
+
+
+def build_regression_corpus(
+    root: Path, *, label: str, runs: int, spin_us: int
+) -> NameTable:
+    """Write *runs* repeat captures of one workload state under *root*.
+
+    All captures carry the same *label*, so ``repro db diff`` pools them
+    into one side's noise estimate; returns the name table to decode
+    with.  Baseline and candidate corpora differ only in ``spin_us``.
+    """
+    root.mkdir(parents=True, exist_ok=True)
+    for run in range(runs):
+        write_capture_file(
+            root / f"{label}_{run:02d}.mpf",
+            regression_records(run, spin_us=spin_us),
+            label=label,
+        )
+    return fleet_names()
+
+
 def build_fleet_corpus(
     root: Path, captures: int, events: int = 64
 ) -> NameTable:

@@ -2,8 +2,18 @@
 
 from __future__ import annotations
 
+import json
+import warnings
+
+import pytest
+
 from repro.analysis.callstack import analyze_capture
-from repro.analysis.compare import FunctionDelta, compare_summaries
+from repro.analysis.compare import (
+    FunctionDelta,
+    WorkloadMismatchWarning,
+    compare_summaries,
+    json_safe,
+)
 from repro.analysis.summary import FunctionStats, ProfileSummary, summarize
 
 from stream_helpers import stream
@@ -11,6 +21,23 @@ from stream_helpers import stream
 
 def summary_of(simple_names, *steps) -> ProfileSummary:
     return summarize(analyze_capture(stream(simple_names, *steps)))
+
+
+def make_summary(wall_us: int = 0, **functions: int) -> ProfileSummary:
+    stats = {
+        name: FunctionStats(
+            name=name, calls=1, elapsed_us=net, net_us=net, max_us=net, min_us=net
+        )
+        for name, net in functions.items()
+    }
+    busy = sum(functions.values())
+    return ProfileSummary(
+        wall_us=wall_us or busy,
+        busy_us=busy,
+        idle_us=max(0, (wall_us or busy) - busy),
+        event_count=2 * len(functions),
+        functions=stats,
+    )
 
 
 class TestFunctionDelta:
@@ -26,22 +53,43 @@ class TestFunctionDelta:
 
     def test_delta_and_speedup(self):
         delta = self.make(100, 25)
+        assert delta.status == "common"
         assert delta.net_delta_us == -75
         assert delta.speedup == 4.0
 
-    def test_function_disappears(self):
+    def test_function_vanishes_is_not_a_zero_measurement(self):
         delta = self.make(100, None)
-        assert delta.net_after_us == 0
+        assert delta.status == "vanished"
+        # Absence is not "measured 0 us": no ratio to speak of.
+        assert delta.speedup is None
+        assert delta.net_delta_us == -100
+
+    def test_function_appears_is_not_a_zero_measurement(self):
+        delta = self.make(None, 50)
+        assert delta.status == "appeared"
+        assert delta.speedup is None
+        assert delta.net_delta_us == 50
+
+    def test_measured_zero_after_is_a_real_ratio(self):
+        # Present on both sides but collapsed to 0 us: that IS infinite
+        # speedup of a measured quantity (json_safe turns it to null).
+        delta = self.make(100, 0)
+        assert delta.status == "common"
         assert delta.speedup == float("inf")
 
-    def test_function_appears(self):
-        delta = self.make(None, 50)
-        assert delta.net_delta_us == 50
-        assert delta.speedup == 0.0
-
-    def test_no_change(self):
-        delta = self.make(None, None)
+    def test_both_measured_zero(self):
+        delta = self.make(0, 0)
         assert delta.speedup == 1.0
+
+
+class TestJsonSafe:
+    def test_passthrough_and_nulling(self):
+        assert json_safe(2.5) == 2.5
+        assert json_safe(0.0) == 0.0
+        assert json_safe(None) is None
+        assert json_safe(float("inf")) is None
+        assert json_safe(float("-inf")) is None
+        assert json_safe(float("nan")) is None
 
 
 class TestProfileComparison:
@@ -76,8 +124,10 @@ class TestProfileComparison:
         )
         diff = compare_summaries(before, after)
         assert set(diff.deltas) == {"read", "bcopy"}
-        assert diff.deltas["read"].after is None
-        assert diff.deltas["bcopy"].before is None
+        assert diff.deltas["read"].status == "vanished"
+        assert diff.deltas["bcopy"].status == "appeared"
+        assert [d.name for d in diff.vanished()] == ["read"]
+        assert [d.name for d in diff.appeared()] == ["bcopy"]
 
     def test_format(self, simple_names):
         before = summary_of(
@@ -90,3 +140,107 @@ class TestProfileComparison:
         assert "2.50x" in text
         assert "main" in text
         assert "-60" in text
+
+    def test_format_marks_appeared_and_vanished(self):
+        diff = compare_summaries(
+            make_summary(gone_fn=100), make_summary(new_fn=50)
+        )
+        text = diff.format()
+        assert "new" in text and "[appeared]" in text
+        assert "gone" in text and "[vanished]" in text
+        # Neither absent side ever prints as a zero measurement.
+        for line in text.splitlines():
+            if "new_fn" in line:
+                assert not line.lstrip().startswith("0 ")
+
+
+class TestCompareEdgeCases:
+    def test_both_sides_empty(self):
+        diff = compare_summaries(make_summary(), make_summary())
+        assert diff.deltas == {}
+        assert diff.wall_delta_us == 0
+        assert diff.wall_speedup == 1.0
+        assert diff.format()  # renders without error
+        assert diff.to_json()["functions"] == []
+
+    def test_empty_before_populated_after(self):
+        diff = compare_summaries(make_summary(), make_summary(f=100))
+        assert diff.deltas["f"].status == "appeared"
+        assert diff.deltas["f"].speedup is None
+
+    def test_populated_before_empty_after(self):
+        diff = compare_summaries(make_summary(f=100), make_summary())
+        assert diff.deltas["f"].status == "vanished"
+        # Wall collapsed 100 -> 0: a measured-zero run, real inf ratio...
+        assert diff.wall_speedup == float("inf")
+        # ...which the JSON document must carry as null, not Infinity.
+        assert diff.to_json()["wall_speedup"] is None
+
+    def test_identical_runs(self, simple_names):
+        steps = ((">", "main", 0), (">", "cksum", 10),
+                 ("<", "cksum", 60), ("<", "main", 80))
+        diff = compare_summaries(
+            summary_of(simple_names, *steps), summary_of(simple_names, *steps)
+        )
+        assert diff.wall_delta_us == 0
+        assert diff.wall_speedup == 1.0
+        assert all(d.net_delta_us == 0 for d in diff.deltas.values())
+        assert all(d.speedup == 1.0 for d in diff.deltas.values())
+
+    def test_zero_wall_time_both_sides(self):
+        diff = compare_summaries(make_summary(), make_summary())
+        assert diff.wall_speedup == 1.0  # not a ZeroDivisionError, not inf
+
+    def test_workload_mismatch_warns(self):
+        with pytest.warns(WorkloadMismatchWarning, match="network.*forkexec"):
+            compare_summaries(
+                make_summary(f=10),
+                make_summary(f=20),
+                before_workload="network",
+                after_workload="forkexec",
+            )
+
+    def test_matching_workloads_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            compare_summaries(
+                make_summary(f=10),
+                make_summary(f=20),
+                before_workload="network",
+                after_workload="network",
+            )
+            # Unknown on either side: comparability cannot be judged.
+            compare_summaries(make_summary(f=10), make_summary(f=20))
+            compare_summaries(
+                make_summary(f=10), make_summary(f=20), before_workload="network"
+            )
+
+
+class TestComparisonJson:
+    def test_document_is_strict_json(self):
+        """Regression: inf speedups used to serialize as bare Infinity."""
+        diff = compare_summaries(
+            make_summary(collapsed=100, gone_fn=30),
+            make_summary(collapsed=0, new_fn=40),
+        )
+        document = diff.to_json()
+        # allow_nan=False is the strict-JSON tripwire: it raises on any
+        # Infinity/NaN that leaks into the document.
+        text = json.dumps(document, allow_nan=False)
+        parsed = json.loads(text)
+        rows = {row["name"]: row for row in parsed["functions"]}
+        assert rows["collapsed"]["speedup"] is None  # measured-zero inf -> null
+        assert rows["new_fn"]["status"] == "appeared"
+        assert rows["new_fn"]["net_before_us"] is None
+        assert rows["new_fn"]["calls_before"] is None
+        assert rows["gone_fn"]["status"] == "vanished"
+        assert rows["gone_fn"]["net_after_us"] is None
+        assert rows["gone_fn"]["calls_after"] is None
+
+    def test_limit(self):
+        diff = compare_summaries(
+            make_summary(a=10, b=20, c=30), make_summary(a=40, b=20, c=90)
+        )
+        document = diff.to_json(limit=1)
+        assert len(document["functions"]) == 1
+        assert document["functions"][0]["name"] == "c"

@@ -1,0 +1,76 @@
+"""Atomic report writes: repro.atomicio and the CLI sites that use it."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.atomicio import write_text_atomic
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+class TestWriteTextAtomic:
+    def test_appends_exactly_one_newline(self, tmp_path):
+        target = tmp_path / "out.json"
+        write_text_atomic(target, "{}")
+        assert target.read_text() == "{}\n"
+        write_text_atomic(target, "{}\n")
+        assert target.read_text() == "{}\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old " * 1000)
+        write_text_atomic(target, "new")
+        assert target.read_text() == "new\n"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        write_text_atomic(tmp_path / "out.txt", "payload")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failure_preserves_old_content_and_cleans_up(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        write_text_atomic(target, "original")
+
+        class Boom(Exception):
+            pass
+
+        def exploding_replace(src, dst):
+            raise Boom()
+
+        # Fail at the final rename: the destination must keep its old
+        # content and the temp file must not leak.
+        import repro.atomicio as atomicio
+
+        monkeypatch.setattr(atomicio.os, "replace", exploding_replace)
+        with pytest.raises(Boom):
+            write_text_atomic(target, "replacement\n")
+        assert target.read_text() == "original\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_returns_target_path(self, tmp_path):
+        result = write_text_atomic(tmp_path / "out.txt", "x")
+        assert result == tmp_path / "out.txt"
+
+
+class TestCliWriteSites:
+    def test_trace_export_ends_with_newline(self, tmp_path):
+        out = tmp_path / "fig3.trace.json"
+        code = main(
+            [
+                "trace", "export", str(GOLDEN_DIR / "figure3_network_v2.mpf"),
+                "--names", str(GOLDEN_DIR / "case_study.tags"),
+                "-o", str(out),
+            ],
+            out=lambda _line: None,
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.endswith("\n") and not text.endswith("\n\n")
+        assert json.loads(text)["traceEvents"]
+        assert [p.name for p in tmp_path.iterdir()] == [out.name]
