@@ -224,12 +224,17 @@ def _stream_total(path) -> Optional[int]:
     """Best-effort record count from the capture header (for the ETA).
 
     Unreadable or damaged headers return ``None`` — the streaming reader
-    itself will raise the real, well-worded error moments later.
+    itself will raise the real, well-worded error moments later.  So do
+    open-ended (streamed) captures: their header count is a sentinel,
+    and the true count only exists in the end-of-stream trailer.
     """
     try:
-        return cached_capture_meta(path).count or None
+        meta = cached_capture_meta(path)
     except (OSError, ValueError):
         return None
+    if meta.streamed:
+        return None
+    return meta.count or None
 
 
 def _print_sharded_summary(
@@ -889,6 +894,216 @@ def cmd_workloads(args: argparse.Namespace, out: Callable) -> int:
     return 0
 
 
+def _stderr(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+def cmd_live_capture(args: argparse.Namespace, out: Callable) -> int:
+    """``repro live capture``: stream an open-ended MPF2 capture to a wire.
+
+    The record stream (header, flushed chunks, trailer) goes to stdout
+    by default — pipe it straight into ``repro live analyze`` — and every
+    human-oriented line goes to stderr, so the wire stays pure.
+    """
+    from repro.live.capture import stream_capture
+
+    if args.chunk_records < 1:
+        raise SystemExit(f"--chunk-records must be positive, got {args.chunk_records}")
+    modules = args.modules.split(",") if args.modules else None
+    sink = sys.stdout.buffer if args.out == "-" else open(args.out, "wb")
+    try:
+        result = stream_capture(
+            sink,
+            args.workload,
+            packets=args.packets,
+            modules=modules,
+            chunk_records=args.chunk_records,
+            names_out=args.names,
+            info=_stderr,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    finally:
+        if sink is not sys.stdout.buffer:
+            sink.close()
+        else:
+            sink.flush()
+    _stderr(_desync_footer(result.desyncs))
+    return 0
+
+
+def cmd_live_analyze(args: argparse.Namespace, out: Callable) -> int:
+    """``repro live analyze``: fold an MPF2 wire stream as it arrives.
+
+    Stdout carries exactly the drained summary report (so CI can diff it
+    against batch ``analyze --stream``); window lines, the metrics URL
+    and all other narration go to stderr.
+    """
+    from repro.live.analyzer import LiveAnalyzer
+    from repro.profiler.upload import CaptureFormatError
+
+    # The name/tag table travels out of band and the producer only
+    # writes it (atomically) once its capture finishes, so an analyzer
+    # started first — the normal shape of `capture | analyze` — waits
+    # for it to appear instead of racing it.
+    import time as _time
+
+    deadline = _time.monotonic() + max(args.names_timeout, 0.0)
+    missing = [p for p in args.names if not Path(p).exists()]
+    while missing and _time.monotonic() < deadline:
+        _time.sleep(0.05)
+        missing = [p for p in missing if not Path(p).exists()]
+    if missing:
+        raise SystemExit(
+            "name/tag file(s) never appeared within "
+            f"{args.names_timeout:g}s: {', '.join(missing)}"
+        )
+    names = NameTable.read(*args.names)
+    # The live gauges need the telemetry singleton on; --telemetry
+    # already enables it, a bare --metrics-port enables it for the run
+    # without writing a snapshot file.
+    implicit_telemetry = args.metrics_port is not None and not args.telemetry
+    if implicit_telemetry:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    _telemetry_begin(args)
+    trace = heartbeat = server = None
+    try:
+        if args.trace_out:
+            from repro.live.trace import LiveTraceWriter
+
+            trace = LiveTraceWriter(args.trace_out, names)
+        if args.heartbeat:
+            from repro.telemetry import HeartbeatFlusher
+
+            heartbeat = HeartbeatFlusher(
+                Path(args.heartbeat), TELEMETRY, interval_s=args.heartbeat_every
+            )
+
+        def _on_window(window) -> None:
+            _stderr(
+                f"window #{window.seq}: {window.events} events, "
+                f"{window.events_per_sec:,.0f}/s, "
+                f"busy {100.0 * window.window.busy_fraction:.2f}%"
+            )
+
+        analyzer = LiveAnalyzer(
+            names,
+            window_s=args.window,
+            on_window=_on_window,
+            trace=trace,
+            heartbeat=heartbeat,
+        )
+        if args.metrics_port is not None:
+            from repro.fleet.serve import MetricsHTTPServer
+
+            server = MetricsHTTPServer(
+                analyzer.render_metrics, port=args.metrics_port, name="live-metrics"
+            )
+            server.start()
+            _stderr(f"live metrics at http://127.0.0.1:{server.port}/metrics")
+        source = sys.stdin.buffer if args.source == "-" else args.source
+        try:
+            summary = analyzer.consume(source)
+        except CaptureFormatError as exc:
+            raise SystemExit(f"live stream error: {exc}") from None
+        _stderr(
+            f"live: drained {analyzer.records_total} events in "
+            f"{analyzer.batches} batch(es) over {analyzer.windows} window(s)"
+        )
+        if trace is not None:
+            _stderr(f"live trace written to {args.trace_out}")
+        out(summary.format(limit=args.summary_limit))
+        out("")
+        return 0
+    finally:
+        if server is not None:
+            server.close()
+        if trace is not None and not trace.closed:
+            trace.close()
+        _telemetry_end(args)
+        if implicit_telemetry:
+            TELEMETRY.disable()
+
+
+def cmd_top(args: argparse.Namespace, out: Callable) -> int:
+    """``repro top``: capture in a background thread, watch it live.
+
+    A producer thread streams the capture through an OS pipe; the
+    foreground analyzer folds it and redraws the hottest-functions table
+    each closed window (or prints one final frame with ``--once`` / when
+    stdout is not a TTY).
+    """
+    import os
+    import threading
+
+    from repro.live.analyzer import LiveAnalyzer
+    from repro.live.capture import stream_capture
+    from repro.live.top import TopView
+    from repro.profiler.upload import CaptureFormatError
+
+    modules = args.modules.split(",") if args.modules else None
+    read_fd, write_fd = os.pipe()
+    box: dict = {}
+    ready = threading.Event()
+
+    def _on_names(names) -> None:
+        box["names"] = names
+        ready.set()
+
+    def _produce() -> None:
+        sink = os.fdopen(write_fd, "wb")
+        try:
+            box["result"] = stream_capture(
+                sink,
+                args.workload,
+                packets=args.packets,
+                modules=modules,
+                info=_stderr,
+                on_names=_on_names,
+            )
+        except BaseException as exc:  # surfaced on the consumer side
+            box["error"] = exc
+        finally:
+            ready.set()
+            sink.close()
+
+    producer = threading.Thread(target=_produce, name="live-capture", daemon=True)
+    producer.start()
+    ready.wait()
+    if "names" not in box:
+        os.close(read_fd)
+        producer.join()
+        raise SystemExit(f"live capture failed: {box.get('error')}")
+    view = TopView(
+        sort=args.sort,
+        limit=args.limit,
+        scope=args.scope,
+        label=args.workload,
+        once=args.once,
+    )
+    analyzer = LiveAnalyzer(
+        box["names"], window_s=args.interval, on_window=view.update
+    )
+    source = os.fdopen(read_fd, "rb")
+    try:
+        analyzer.consume(source)
+    except CaptureFormatError as exc:
+        producer.join()
+        error = box.get("error")
+        detail = f": {error}" if error is not None else f": {exc}"
+        raise SystemExit(f"live capture died mid-stream{detail}") from None
+    finally:
+        source.close()
+    producer.join()
+    view.final()
+    _stderr(
+        f"top: {analyzer.records_total} events over {analyzer.windows} "
+        f"window(s), {view.frames} frame(s) drawn"
+    )
+    return 0
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", default=None, metavar="PATH",
@@ -1406,6 +1621,135 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the JSON report (stable schema) instead of text",
     )
     db_check.set_defaults(func=cmd_db_check)
+
+    live = sub.add_parser(
+        "live",
+        help="concurrent capture -> analyze over a wire (pipe/FIFO/socket)",
+        description="The live profiling pair: 'capture' streams an "
+        "open-ended MPF2 capture (sentinel count + end-of-stream "
+        "trailer) to a wire while 'analyze' consumes the other end "
+        "concurrently, folding batches into rolling summaries as they "
+        "land.  repro live capture --names run.tags | repro live "
+        "analyze --names run.tags",
+    )
+    live_sub = live.add_subparsers(dest="live_command", required=True)
+
+    live_capture = live_sub.add_parser(
+        "capture",
+        help="run a workload and stream the capture to stdout/FIFO/file",
+    )
+    live_capture.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="network"
+    )
+    live_capture.add_argument(
+        "--packets", type=int, default=30,
+        help="workload size knob (packets/iterations/KB; default 30)",
+    )
+    live_capture.add_argument(
+        "--modules", default=None,
+        help="comma-separated module prefixes to micro-profile (default: all)",
+    )
+    live_capture.add_argument(
+        "--names", required=True, metavar="PATH",
+        help="write the name/tag file here; the analyzer on the far end "
+        "needs it (names travel out of band, as in the paper)",
+    )
+    live_capture.add_argument(
+        "--out", default="-", metavar="PATH",
+        help="wire target: '-' for stdout (default; pipe it), or a "
+        "FIFO/file path",
+    )
+    live_capture.add_argument(
+        "--chunk-records", type=int, default=8192, metavar="N",
+        help="records per flushed write (default 8192, one board RAM)",
+    )
+    live_capture.set_defaults(func=cmd_live_capture)
+
+    live_analyze = live_sub.add_parser(
+        "analyze",
+        help="consume an MPF2 wire stream; rolling summaries + /metrics",
+    )
+    live_analyze.add_argument(
+        "source", nargs="?", default="-",
+        help="'-' for stdin (default) or a capture/FIFO path",
+    )
+    live_analyze.add_argument(
+        "--names", action="append", required=True,
+        help="name/tag file(s) to decode with (repeatable, concatenated)",
+    )
+    live_analyze.add_argument(
+        "--names-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long to wait for the producer's name/tag file(s) to "
+        "appear before giving up (default 30)",
+    )
+    live_analyze.add_argument(
+        "--window", type=float, default=1.0, metavar="SECONDS",
+        help="rolling-summary window on the host clock (default 1.0)",
+    )
+    live_analyze.add_argument("--summary-limit", type=int, default=12)
+    live_analyze.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live Prometheus gauges at "
+        "http://127.0.0.1:PORT/metrics while draining (0: ephemeral "
+        "port, printed to stderr)",
+    )
+    live_analyze.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="append an incremental Chrome trace_event track here while "
+        "the stream flows",
+    )
+    live_analyze.add_argument(
+        "--heartbeat", default=None, metavar="PATH",
+        help="append periodic telemetry heartbeats (JSON lines) here",
+    )
+    live_analyze.add_argument(
+        "--heartbeat-every", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between heartbeat flushes (default 5.0)",
+    )
+    live_analyze.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="enable self-telemetry and write the final snapshot here "
+        "(format inferred from the extension)",
+    )
+    live_analyze.set_defaults(func=cmd_live_analyze)
+
+    top = sub.add_parser(
+        "top",
+        help="refreshing hottest-functions view of a live capture",
+        description="Run a workload in a producer thread and watch the "
+        "summary build: an ANSI-refreshing table of the hottest "
+        "functions, redrawn each rolling window.  Non-TTY output (and "
+        "--once) prints a single final frame instead.",
+    )
+    top.add_argument("--workload", choices=sorted(WORKLOADS), default="network")
+    top.add_argument(
+        "--packets", type=int, default=30,
+        help="workload size knob (packets/iterations/KB; default 30)",
+    )
+    top.add_argument(
+        "--modules", default=None,
+        help="comma-separated module prefixes to micro-profile (default: all)",
+    )
+    # Same vocabulary as ``repro db query --sort`` (FUNCTION_SORTS); the
+    # CLI tests assert repro.live.top.TOP_SORTS and this literal agree.
+    top.add_argument("--sort", choices=DB_FUNCTION_SORTS, default="net")
+    top.add_argument(
+        "--limit", type=int, default=15,
+        help="function rows per frame (default 15)",
+    )
+    top.add_argument(
+        "--scope", choices=("cumulative", "window"), default="cumulative",
+        help="rank the run so far (cumulative) or just the last window",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh window on the host clock (default 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="no live redraw: print one final frame (CI / pipes)",
+    )
+    top.set_defaults(func=cmd_top)
 
     workloads = sub.add_parser(
         "workloads",

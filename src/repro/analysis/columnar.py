@@ -276,7 +276,24 @@ class CallSpan:
     elapsed_us: int
 
 
-def pair_entry_exits(events: ColumnarEvents) -> list[CallSpan]:
+@dataclasses.dataclass
+class PairingCarry:
+    """Open-frame state carried between :func:`pair_entry_exits` batches.
+
+    Frames hold *global* indices and *absolute* times, so a span whose
+    entry arrived three wire batches ago still closes correctly.  Hand
+    the same instance to every call over consecutive batches of one
+    stream; ``len(carry.stack)`` after the final batch is the count of
+    calls the capture window truncated.
+    """
+
+    stack: list[tuple[str, int, int]] = dataclasses.field(default_factory=list)
+    open_names: dict[str, int] = dataclasses.field(default_factory=dict)
+
+
+def pair_entry_exits(
+    events: ColumnarEvents, carry: Optional[PairingCarry] = None
+) -> list[CallSpan]:
     """Batched entry/exit pairing: matched call spans from the columns.
 
     One stack pass over the code column.  An exit closes the innermost
@@ -289,23 +306,35 @@ def pair_entry_exits(events: ColumnarEvents) -> list[CallSpan]:
     across context switches is the summary state machine's job — which
     makes it the cheap first pass for span-oriented consumers (flame
     exports, per-call latency scans).
+
+    Without *carry*, frames still open at the end of the batch produce
+    no span (window truncation).  With a :class:`PairingCarry` — the
+    live wire's mode — those frames persist in the carry instead, and a
+    later batch of the same stream closes them: chunked pairing over a
+    whole stream then yields exactly the spans one all-at-once call
+    would.
     """
     spans: list[CallSpan] = []
-    stack: list[tuple[str, int, int]] = []
-    open_names: dict[str, int] = {}
+    if carry is None:
+        stack: list[tuple[str, int, int]] = []
+        open_names: dict[str, int] = {}
+    else:
+        stack = carry.stack
+        open_names = carry.open_names
     times = events.times
     names = events.names
+    start_index = events.start_index
     for offset, code in enumerate(events.codes):
         if code == CODE_ENTRY:
             name = names[offset]
-            stack.append((name, offset, times[offset]))
+            stack.append((name, start_index + offset, times[offset]))
             open_names[name] = open_names.get(name, 0) + 1
         elif code == CODE_EXIT:
             name = names[offset]
             if not open_names.get(name):
                 continue
             while stack:
-                frame_name, entry_offset, entry_time = stack.pop()
+                frame_name, entry_index, entry_time = stack.pop()
                 count = open_names[frame_name] - 1
                 if count:
                     open_names[frame_name] = count
@@ -315,8 +344,8 @@ def pair_entry_exits(events: ColumnarEvents) -> list[CallSpan]:
                     spans.append(
                         CallSpan(
                             name=name,
-                            entry_index=events.start_index + entry_offset,
-                            exit_index=events.start_index + offset,
+                            entry_index=entry_index,
+                            exit_index=start_index + offset,
                             elapsed_us=times[offset] - entry_time,
                         )
                     )

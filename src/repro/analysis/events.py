@@ -117,6 +117,7 @@ def iter_decoded_events(
     *,
     start_index: int = 0,
     time_base_us: int = 0,
+    previous_raw: Optional[int] = None,
     decode: str = DEFAULT_DECODE,
 ) -> Iterator[DecodedEvent]:
     """Decode a record stream lazily.
@@ -130,7 +131,13 @@ def iter_decoded_events(
 
     ``start_index`` and ``time_base_us`` let a caller decode a *slice* of
     a longer run (a shard) while keeping indices and timestamps in the
-    whole-run frame of reference.
+    whole-run frame of reference.  ``previous_raw`` completes the carry
+    for *push-mode* consumers (the live wire): it is the final raw
+    counter snapshot of the chunk that ended at ``time_base_us``, so the
+    first record of this call unwraps against it instead of defining the
+    origin — chunked decoding then matches one uninterrupted pass
+    exactly, the same continuation contract as
+    :func:`repro.analysis.columnar.decode_columns`'s ``previous``.
 
     ``decode`` selects the engine.  ``"columnar"`` (the default) drains
     *records* in batches through :mod:`repro.analysis.columnar` and
@@ -149,12 +156,18 @@ def iter_decoded_events(
             width_bits,
             start_index=start_index,
             time_base_us=time_base_us,
+            previous_raw=previous_raw,
         )
         return
     _check_width(width_bits)
     mask = (1 << width_bits) - 1
+    if previous_raw is not None and previous_raw > mask:
+        raise ValueError(
+            f"previous snapshot {previous_raw} exceeds the "
+            f"{width_bits}-bit counter"
+        )
     absolute = time_base_us
-    previous: Optional[int] = None
+    previous: Optional[int] = previous_raw
     index = start_index
     for record in records:
         if record.time > mask:
@@ -194,6 +207,7 @@ def _iter_decoded_events_columnar(
     *,
     start_index: int,
     time_base_us: int,
+    previous_raw: Optional[int] = None,
 ) -> Iterator[DecodedEvent]:
     """Columnar engine behind :func:`iter_decoded_events`.
 
@@ -205,11 +219,17 @@ def _iter_decoded_events_columnar(
     from repro.analysis import columnar  # lazy: events is columnar's base
 
     _check_width(width_bits)
+    mask = (1 << width_bits) - 1
+    if previous_raw is not None and previous_raw > mask:
+        raise ValueError(
+            f"previous snapshot {previous_raw} exceeds the "
+            f"{width_bits}-bit counter"
+        )
     decode_map = columnar.build_decode_map(names)
     iterator = iter(records)
     index = start_index
     base = time_base_us
-    previous: Optional[int] = None
+    previous: Optional[int] = previous_raw
     while True:
         chunk = list(islice(iterator, _COLUMNAR_CHUNK_RECORDS))
         if not chunk:

@@ -505,3 +505,39 @@ def analyze_capture_sharded(
         use_processes=use_processes,
         decode=decode,
     )
+
+
+def analyze_stream_sharded(
+    source,
+    names: NameTable,
+    *,
+    max_shard_events: int = DEFAULT_SHARD_EVENTS,
+    workers: Optional[int] = None,
+    width_bits: int = 24,
+    use_processes: bool = False,
+    decode: str = DEFAULT_DECODE,
+) -> ShardedAnalysis:
+    """Sharded analysis of a capture *file* — including the open-ended
+    (live wire) form.
+
+    The bridge from the live pipeline back to this one: tee a wire
+    stream to disk (``repro live capture --out run.mpf``), then
+    shard-analyse the file afterwards.  The shard planner needs random
+    access over the whole record sequence, so the stream is materialised
+    first — unlike the live analyzer this path is not O(chunk), it
+    trades memory for multi-core wall time.  The merged summary is
+    byte-identical to both the batch and the live drain over the same
+    records.
+    """
+    from repro.profiler.upload import iter_capture_file
+
+    records = list(iter_capture_file(source))
+    return analyze_sharded(
+        records,
+        names,
+        max_shard_events=max_shard_events,
+        workers=workers,
+        width_bits=width_bits,
+        use_processes=use_processes,
+        decode=decode,
+    )

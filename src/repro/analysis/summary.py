@@ -103,6 +103,44 @@ class ProfileSummary:
         """The *n* highest net-time functions."""
         return self.rows()[:n]
 
+    def delta(self, older: "ProfileSummary") -> "ProfileSummary":
+        """What happened *between* two snapshots of the same run.
+
+        ``older`` must be an earlier snapshot (a
+        :meth:`SummaryAccumulator.peek`) of the same accumulation this
+        summary came from.  Calls, elapsed and net are monotone
+        counters, so their per-function differences are exact; the
+        per-call max/min extremes are not differenceable and carry the
+        newer cumulative values.  Functions whose counters did not move
+        are dropped — the rolling-window view of ``repro top``.
+        """
+        functions: dict[str, FunctionStats] = {}
+        for name, stats in self.functions.items():
+            old = older.functions.get(name)
+            if old is None:
+                functions[name] = dataclasses.replace(stats)
+                continue
+            calls = stats.calls - old.calls
+            elapsed = stats.elapsed_us - old.elapsed_us
+            net = stats.net_us - old.net_us
+            if calls == 0 and elapsed == 0 and net == 0:
+                continue
+            functions[name] = FunctionStats(
+                name=name,
+                calls=calls,
+                elapsed_us=elapsed,
+                net_us=net,
+                max_us=stats.max_us,
+                min_us=stats.min_us,
+            )
+        return ProfileSummary(
+            wall_us=self.wall_us - older.wall_us,
+            busy_us=self.busy_us - older.busy_us,
+            idle_us=self.idle_us - older.idle_us,
+            event_count=self.event_count - older.event_count,
+            functions=functions,
+        )
+
     def get(self, name: str) -> Optional[FunctionStats]:
         """Stats for one function, or ``None`` if it never appeared."""
         return self.functions.get(name)
@@ -756,6 +794,29 @@ class SummaryAccumulator:
                 functions=_materialize(self._functions),
             )
         return self._summary
+
+    def peek(self) -> ProfileSummary:
+        """A point-in-time summary of everything folded in so far.
+
+        Unlike :meth:`summary` this does **not** seal: open frames, the
+        pending scheduling block and the timer-unwrap state are left
+        untouched, so feeding can continue and the eventual sealed
+        summary is byte-identical to one that was never peeked at.  Only
+        *closed* calls appear (an open frame's time is attributed when it
+        exits, exactly as the batch analyser would at that point) — the
+        live `repro top` view and the windowed rolling summaries are
+        built from this.
+        """
+        if self._sealed:
+            return self.summary()
+        wall = (self._last_t - self._first_t) if self._first_t is not None else 0
+        return ProfileSummary(
+            wall_us=wall,
+            busy_us=wall - self._idle_us,
+            idle_us=self._idle_us,
+            event_count=self._event_count,
+            functions=_materialize(self._functions),
+        )
 
     @property
     def event_count(self) -> int:

@@ -123,7 +123,14 @@ class FleetPlan:
 
     @property
     def total_records(self) -> int:
-        return sum(c.meta.count for c in self.captures if c.meta is not None)
+        # Open-ended (streamed) captures carry a sentinel header count;
+        # their true count lives in the trailer, which the probe does not
+        # read, so they contribute nothing to the planning total.
+        return sum(
+            c.meta.count
+            for c in self.captures
+            if c.meta is not None and not c.meta.streamed
+        )
 
 
 @dataclasses.dataclass(frozen=True)

@@ -47,9 +47,9 @@ DEFAULT_POLL_S = 1.0
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
-    """``GET /metrics``: flush the arena into telemetry and expose it."""
+    """``GET /metrics``: render the server's metrics and expose them."""
 
-    server: "_MetricsServer"
+    server: "MetricsHTTPServer"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path not in ("/", "/metrics"):
@@ -67,18 +67,59 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         pass
 
 
-class _MetricsServer(ThreadingHTTPServer):
+class MetricsHTTPServer(ThreadingHTTPServer):
+    """A `/metrics` endpoint around any Prometheus-text render callable.
+
+    The shared scrape plumbing of ``repro fleet serve`` and ``repro live
+    analyze``: bind (``port=0`` picks a free one, read it back from
+    :attr:`port`), :meth:`start` a daemon thread, point Prometheus at
+    ``/metrics``.  Renders are serialised behind a lock because the
+    callable typically flushes shared state (the fleet arena, the live
+    accumulator snapshot) before formatting.
+    """
+
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], arena: MetricsArena) -> None:
-        super().__init__(address, _MetricsHandler)
-        self._arena = arena
+    def __init__(
+        self,
+        render: Callable[[], str],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "metrics",
+    ) -> None:
+        super().__init__((host, port), _MetricsHandler)
+        self._render = render
         self._render_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=name, daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
 
     def render(self) -> str:
         with self._render_lock:
-            self._arena.publish_into(TELEMETRY)
-            return to_prometheus(TELEMETRY)
+            return self._render()
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+
+
+def _arena_render(arena: MetricsArena) -> Callable[[], str]:
+    """The fleet render: flush the shared-memory arena, then format."""
+
+    def render() -> str:
+        arena.publish_into(TELEMETRY)
+        return to_prometheus(TELEMETRY)
+
+    return render
 
 
 class FleetServer:
@@ -121,11 +162,10 @@ class FleetServer:
         # say; a serve process exists to be scraped, so enable it.
         TELEMETRY.enable()
         self.arena = fleet_arena(max(self.jobs, 1))
-        self._http = _MetricsServer(("127.0.0.1", port), self.arena)
-        self.port = self._http.server_address[1]
-        self._http_thread = threading.Thread(
-            target=self._http.serve_forever, name="fleet-metrics", daemon=True
+        self._http = MetricsHTTPServer(
+            _arena_render(self.arena), port=port, name="fleet-metrics"
         )
+        self.port = self._http.port
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -138,8 +178,7 @@ class FleetServer:
         return self._stop.is_set()
 
     def close(self) -> None:
-        self._http.shutdown()
-        self._http.server_close()
+        self._http.close()
         self.arena.publish_into(TELEMETRY)
         self.arena.close()
         self.arena.unlink()
@@ -215,7 +254,7 @@ class FleetServer:
         """Serve until signalled; returns the process exit code (0)."""
         previous_int = signal.signal(signal.SIGINT, self.stop)
         previous_term = signal.signal(signal.SIGTERM, self.stop)
-        self._http_thread.start()
+        self._http.start()
         self.log(
             f"fleet serve: watching {self.root} on "
             f"http://127.0.0.1:{self.port}/metrics "

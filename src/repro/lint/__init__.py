@@ -20,7 +20,10 @@ properties *statically*, before (or instead of) a run:
 7. :mod:`repro.lint.coverage_lint` — profile coverage of a capture
    corpus (dead instrumentation, blind spots, redundant workloads);
 8. :mod:`repro.lint.db_lint` — profile-database integrity (schema
-   drift, orphan rows, label collisions).
+   drift, orphan rows, label collisions);
+9. :mod:`repro.lint.live_lint` — open-ended (live wire) capture streams
+   (missing end-of-stream trailers, trailer CRC disagreement, drain
+   mismatches).
 
 Every finding is a :class:`~repro.lint.diagnostics.Diagnostic` with a
 stable ``P0xx``-style code and a severity; :mod:`repro.lint.runner`
@@ -41,6 +44,7 @@ from repro.lint.coverage_lint import lint_coverage_corpus
 from repro.lint.db_lint import lint_profile_db
 from repro.lint.fleet_lint import lint_fleet_plan, lint_fleet_result
 from repro.lint.link_lint import lint_layout, lint_link
+from repro.lint.live_lint import lint_live_drain, lint_live_stream
 from repro.lint.namefile_lint import (
     lint_name_file_text,
     lint_name_files,
@@ -81,6 +85,8 @@ __all__ = [
     "lint_kernel_source",
     "lint_layout",
     "lint_link",
+    "lint_live_drain",
+    "lint_live_stream",
     "lint_name_file_text",
     "lint_name_files",
     "lint_name_table",

@@ -4,8 +4,9 @@ Codes are stable API: scripts grep for them, tests assert them, and the
 JSON reporter emits them verbatim.  The numbering mirrors the pass
 structure — ``P0xx`` name/tag file, ``P1xx`` kernel source, ``P2xx``
 capture stream, ``P3xx`` link/bus, ``P4xx`` telemetry, ``P5xx`` fleet
-ingestion — so a code alone tells you which stage of the
-tag→trigger→capture chain is broken.
+ingestion, ``P6xx`` profile coverage, ``P7xx`` profile database,
+``P8xx`` live wire streams — so a code alone tells you which stage of
+the tag→trigger→capture chain is broken.
 """
 
 from __future__ import annotations
@@ -91,6 +92,10 @@ CODE_TABLE: dict[str, tuple[Severity, str]] = {
     "P703": (Severity.WARNING, "run label reused across workloads"),
     "P704": (Severity.WARNING, "ingested run has no function rows"),
     "P705": (Severity.INFO, "label has a single run (no noise estimate)"),
+    # -- P8xx: live wire streams ----------------------------------------------
+    "P801": (Severity.ERROR, "open-ended capture missing its end-of-stream trailer"),
+    "P802": (Severity.ERROR, "stream trailer CRC32 disagrees with the records"),
+    "P803": (Severity.ERROR, "drained record count disagrees with the trailer"),
 }
 
 

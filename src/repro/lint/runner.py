@@ -216,6 +216,15 @@ def _run_stream_pass(options: LintOptions, report: LintReport) -> None:
         )
 
 
+def _run_live_pass(options: LintOptions, report: LintReport) -> None:
+    # Local import: the live pass is the one optional extra in the chain
+    # and the runner must import without it during partial checkouts.
+    from repro.lint.live_lint import lint_live_stream
+
+    for capture in options.captures:
+        lint_live_stream(capture, report=report)
+
+
 def _run_kernel_ast_pass(options: LintOptions, report: LintReport) -> None:
     lint_kernel_source(report=report)
 
@@ -229,6 +238,9 @@ register_lint_pass(LintPass(
 ))
 register_lint_pass(LintPass(
     "stream", lambda options: bool(options.captures), _run_stream_pass
+))
+register_lint_pass(LintPass(
+    "live", lambda options: bool(options.captures), _run_live_pass
 ))
 register_lint_pass(LintPass(
     "kernel_ast", lambda options: options.kernel_ast, _run_kernel_ast_pass

@@ -59,6 +59,7 @@ DEFECT_CODES = {
     "crc-mismatch": "P210",
     "partial-record": "P211",
     "count-mismatch": "P212",
+    "missing-trailer": "P801",
 }
 
 

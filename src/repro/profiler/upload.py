@@ -27,11 +27,29 @@ own header size so future fields can append without breaking old readers::
     8  …  records                 6   4  record count
                                   10  1  counter width (bits)
                                   11  4  counter rate (Hz)
-                                  15  1  flags (bit 0 = overflowed)
+                                  15  1  flags (bit 0 = overflowed,
+                                          bit 1 = open-ended stream)
                                   16  4  CRC32 of the record stream
                                   20  2  label length L
                                   22  L  label (UTF-8);  H = 22 + L
                                   H   …  records
+
+An **open-ended** MPF2 stream (flags bit 1) is the live-profiling wire
+form: the producer does not know the record count up front and the sink
+(pipe, socket, FIFO) cannot seek for a backpatch, so the header carries
+the sentinel count ``0xFFFFFFFF`` and a zero CRC, and the authoritative
+count and CRC32 arrive in a 12-byte end-of-stream trailer instead::
+
+    H + 5n      4  trailer magic "MPFT"
+    H + 5n + 4  4  record count n
+    H + 5n + 8  4  CRC32 of the record stream
+
+Readers hold back the last 12 bytes while records stream — a consumer
+can tail a capture before the producer finishes — and verify the trailer
+at end of stream exactly as they verify a closed header.  A missing or
+corrupt trailer raises :class:`CaptureFormatError` (the capture was cut
+mid-stream); the salvaging decoder reports it as a ``missing-trailer``
+defect and still recovers every whole record.
 
 All multi-byte fields are big-endian.  Writers default to MPF2; every
 reader accepts both versions transparently.  For files that met a real
@@ -121,6 +139,18 @@ _V2_CRC_OFFSET = 16
 #: The header count field is 32-bit in both versions.
 MAX_RECORDS = 1 << 32
 
+#: Sentinel header count of an open-ended MPF2 stream (flags bit 1 set):
+#: the true count arrives in the end-of-stream trailer.
+OPEN_COUNT = MAX_RECORDS - 1
+
+#: End-of-stream trailer of an open-ended MPF2 stream.
+TRAILER_MAGIC = b"MPFT"
+
+#: Trailer size: magic (4) + record count u32 (4) + CRC32 u32 (4).  Not a
+#: multiple of :data:`RECORD_BYTES`, so a stream that ends in a trailer can
+#: never be mistaken for one that ends in whole records.
+TRAILER_BYTES = 12
+
 #: What an MPF1 header silently implies (the stock board).
 STOCK_WIDTH_BITS = TIME_BITS
 STOCK_RATE_HZ = 1_000_000
@@ -140,7 +170,9 @@ class CaptureMeta:
     ``version`` is 1 or 2 (0 means the salvager could not even identify
     the format).  For MPF1 files the counter fields are the stock-board
     defaults the format implies, not anything the file recorded, and
-    ``crc32`` is ``None``.
+    ``crc32`` is ``None``.  ``streamed`` marks an open-ended MPF2 stream:
+    the header's count is the :data:`OPEN_COUNT` sentinel and ``crc32``
+    is ``None`` because both truths live in the end-of-stream trailer.
     """
 
     version: int
@@ -150,6 +182,7 @@ class CaptureMeta:
     overflowed: bool = False
     label: str = ""
     crc32: Optional[int] = None
+    streamed: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -158,8 +191,9 @@ class CaptureDefect:
 
     ``kind`` is a stable machine-readable string (``bad-magic``,
     ``truncated-header``, ``bad-header-field``, ``partial-record``,
-    ``count-mismatch``, ``crc-mismatch``); ``offset`` is the byte offset
-    in the file where the fault sits, when that is meaningful.
+    ``count-mismatch``, ``crc-mismatch``, ``missing-trailer``);
+    ``offset`` is the byte offset in the file where the fault sits, when
+    that is meaningful.
     """
 
     kind: str
@@ -420,6 +454,7 @@ def _encode_v2_header(
     overflowed: bool,
     label: str,
     crc32: int,
+    streamed: bool = False,
 ) -> bytes:
     if not (1 <= counter_width_bits <= TIME_BITS):
         raise ValueError(
@@ -437,7 +472,7 @@ def _encode_v2_header(
         + count.to_bytes(4, "big")
         + counter_width_bits.to_bytes(1, "big")
         + counter_rate_hz.to_bytes(4, "big")
-        + (1 if overflowed else 0).to_bytes(1, "big")
+        + ((1 if overflowed else 0) | (2 if streamed else 0)).to_bytes(1, "big")
         + crc32.to_bytes(4, "big")
         + len(label_bytes).to_bytes(2, "big")
         + label_bytes
@@ -464,6 +499,7 @@ def _decode_v2_body(body: bytes) -> CaptureMeta:
             f"{len(body) + 6}-byte header"
         )
     label = body[16 : 16 + label_len].decode("utf-8", errors="replace")
+    streamed = bool(flags & 2)
     return CaptureMeta(
         version=2,
         count=count,
@@ -471,8 +507,40 @@ def _decode_v2_body(body: bytes) -> CaptureMeta:
         counter_rate_hz=rate,
         overflowed=bool(flags & 1),
         label=label,
-        crc32=crc32,
+        # An open-ended header's count/CRC fields are placeholders: the
+        # trailer is authoritative, so the header CRC is not exposed.
+        crc32=None if streamed else crc32,
+        streamed=streamed,
     )
+
+
+def encode_stream_trailer(count: int, crc32: int) -> bytes:
+    """Serialise the end-of-stream trailer of an open-ended MPF2 stream."""
+    _check_count(count)
+    return TRAILER_MAGIC + count.to_bytes(4, "big") + crc32.to_bytes(4, "big")
+
+
+def decode_stream_trailer(blob: bytes) -> tuple[int, int]:
+    """Decode an end-of-stream trailer: ``(record count, CRC32)``.
+
+    Raises :class:`CaptureFormatError` when *blob* is not a whole, intact
+    trailer — the signature every reader uses to report a capture that
+    was cut before its producer closed the stream.
+    """
+    if len(blob) < TRAILER_BYTES:
+        raise CaptureFormatError(
+            f"open-ended capture ends without an end-of-stream trailer "
+            f"({len(blob)} byte(s) remain, a trailer is {TRAILER_BYTES}): "
+            "the stream was cut before the producer closed it"
+        )
+    if blob[: len(TRAILER_MAGIC)] != TRAILER_MAGIC:
+        raise CaptureFormatError(
+            f"open-ended capture trailer magic {blob[:4]!r} is not "
+            f"{TRAILER_MAGIC!r}: the stream was cut or corrupted"
+        )
+    count = int.from_bytes(blob[4:8], "big")
+    crc32 = int.from_bytes(blob[8:12], "big")
+    return count, crc32
 
 
 def _read_header(stream: BinaryIO) -> CaptureMeta:
@@ -534,10 +602,19 @@ def iter_capture_file(
     header's record count and the stream length raises at end of
     iteration — late, but without buffering the file; ``verify_crc``
     likewise checks the MPF2 record-stream CRC32 at the end (MPF1 has no
-    checksum to verify).
+    checksum to verify).  Open-ended streams (flags bit 1) verify the
+    end-of-stream trailer instead, exactly like the columnar reader.
     """
     with _open_context(path_or_file, "rb") as stream:
         meta = _read_header(stream)
+        if meta.streamed:
+            yield from _iter_open_stream_records(
+                stream,
+                chunk_records=chunk_records,
+                verify_count=verify_count,
+                verify_crc=verify_crc,
+            )
+            return
         reader: Union[BinaryIO, _Crc32Tap] = stream
         check_crc = verify_crc and meta.crc32 is not None
         if check_crc:
@@ -559,6 +636,70 @@ def iter_capture_file(
             )
 
 
+def _iter_open_stream_records(
+    stream: BinaryIO,
+    *,
+    chunk_records: int,
+    verify_count: bool,
+    verify_crc: bool,
+) -> Iterator[RawRecord]:
+    """Per-record walk of an open-ended record stream (header consumed).
+
+    The reference-engine twin of the streamed branch in
+    :func:`iter_capture_columns`: the same hold-back of the last
+    :data:`TRAILER_BYTES` bytes, the same trailer verification, but one
+    :meth:`RawRecord.unpack` per record so the columnar path has an
+    independent executable specification to differ against.
+    """
+    if chunk_records <= 0:
+        raise ValueError(f"chunk_records must be positive, got {chunk_records}")
+    chunk_bytes = chunk_records * RECORD_BYTES
+    crc = 0
+    seen = 0
+    leftover = b""
+    while True:
+        blob = stream.read(chunk_bytes)
+        if not blob:
+            break
+        blob = leftover + blob
+        usable = len(blob) - TRAILER_BYTES
+        usable -= usable % RECORD_BYTES
+        if usable > 0:
+            if verify_crc:
+                crc = zlib.crc32(blob[:usable], crc)
+            for i in range(0, usable, RECORD_BYTES):
+                yield RawRecord.unpack(blob[i : i + RECORD_BYTES])
+            seen += usable // RECORD_BYTES
+            leftover = blob[usable:]
+        else:
+            leftover = blob
+    tail = leftover[-TRAILER_BYTES:] if len(leftover) >= TRAILER_BYTES else leftover
+    leftover = leftover[: len(leftover) - len(tail)]
+    if leftover:
+        if len(leftover) % RECORD_BYTES:
+            raise CaptureFormatError(
+                f"record stream ends with a partial "
+                f"{len(leftover) % RECORD_BYTES}-byte record"
+            )
+        if verify_crc:
+            crc = zlib.crc32(leftover, crc)
+        for i in range(0, len(leftover), RECORD_BYTES):
+            yield RawRecord.unpack(leftover[i : i + RECORD_BYTES])
+        seen += len(leftover) // RECORD_BYTES
+    declared, trailer_crc = decode_stream_trailer(tail)
+    if verify_count and seen != declared:
+        raise CaptureFormatError(
+            f"capture file trailer claims {declared} records but stream "
+            f"holds {seen}"
+        )
+    if verify_crc and crc != trailer_crc:
+        _TELEMETRY.count("upload.crc.failures")
+        raise CaptureFormatError(
+            f"record stream CRC32 {crc:#010x} disagrees with "
+            f"the trailer's {trailer_crc:#010x}: the payload is corrupt"
+        )
+
+
 def iter_capture_columns(
     path_or_file: Union[str, Path, BinaryIO],
     *,
@@ -574,12 +715,19 @@ def iter_capture_columns(
     *per chunk* (one :func:`zlib.crc32` call per read, never per record)
     and applies the same end-of-stream count/CRC verification with the
     same :class:`CaptureFormatError` the per-record reader raises.
+
+    Open-ended streams (flags bit 1) work off a live pipe/socket: the
+    reader holds back the last :data:`TRAILER_BYTES` bytes so records
+    flow while the producer is still writing, then verifies the trailer's
+    count and CRC32 at end of stream — a cut stream raises instead of
+    silently under-reporting.
     """
     if chunk_records <= 0:
         raise ValueError(f"chunk_records must be positive, got {chunk_records}")
     with _open_context(path_or_file, "rb") as stream:
         meta = _read_header(stream)
-        check_crc = verify_crc and meta.crc32 is not None
+        check_crc = verify_crc and (meta.crc32 is not None or meta.streamed)
+        hold_back = TRAILER_BYTES if meta.streamed else 0
         chunk_bytes = chunk_records * RECORD_BYTES
         telemetry = _TELEMETRY
         crc = 0
@@ -589,11 +737,12 @@ def iter_capture_columns(
             blob = stream.read(chunk_bytes)
             if not blob:
                 break
-            if check_crc:
-                crc = zlib.crc32(blob, crc)
             blob = leftover + blob
-            usable = len(blob) - (len(blob) % RECORD_BYTES)
-            if usable:
+            usable = len(blob) - hold_back
+            usable -= usable % RECORD_BYTES
+            if usable > 0:
+                if check_crc:
+                    crc = zlib.crc32(blob[:usable], crc)
                 if telemetry.enabled:
                     with telemetry.span(
                         "upload.decode_chunk", records=usable // RECORD_BYTES
@@ -604,17 +753,43 @@ def iter_capture_columns(
                     columns = decode_record_columns(blob[:usable])
                 seen += len(columns)
                 yield columns
-            leftover = blob[usable:]
+                leftover = blob[usable:]
+            else:
+                leftover = blob
+        declared = meta.count
+        if meta.streamed:
+            tail = leftover[-TRAILER_BYTES:] if len(leftover) >= TRAILER_BYTES else leftover
+            leftover = leftover[: len(leftover) - len(tail)]
+            if leftover:
+                if len(leftover) % RECORD_BYTES:
+                    raise CaptureFormatError(
+                        f"record stream ends with a partial "
+                        f"{len(leftover) % RECORD_BYTES}-byte record"
+                    )
+                if check_crc:
+                    crc = zlib.crc32(leftover, crc)
+                columns = decode_record_columns(leftover)
+                seen += len(columns)
+                yield columns
+                leftover = b""
+            declared, trailer_crc = decode_stream_trailer(tail)
+            if check_crc and crc != trailer_crc:
+                _TELEMETRY.count("upload.crc.failures")
+                raise CaptureFormatError(
+                    f"record stream CRC32 {crc:#010x} disagrees with "
+                    f"the trailer's {trailer_crc:#010x}: the payload is corrupt"
+                )
         if leftover:
             raise CaptureFormatError(
                 f"record stream ends with a partial {len(leftover)}-byte record"
             )
-        if verify_count and seen != meta.count:
+        if verify_count and seen != declared:
+            where = "trailer" if meta.streamed else "header"
             raise CaptureFormatError(
-                f"capture file header claims {meta.count} records but stream "
+                f"capture file {where} claims {declared} records but stream "
                 f"holds {seen}"
             )
-        if check_crc and crc != meta.crc32:
+        if check_crc and not meta.streamed and crc != meta.crc32:
             _TELEMETRY.count("upload.crc.failures")
             raise CaptureFormatError(
                 f"record stream CRC32 {crc:#010x} disagrees with "
@@ -635,9 +810,17 @@ def read_capture_meta(path_or_file: Union[str, Path, BinaryIO]) -> CaptureMeta:
     """
     with _open_context(path_or_file, "rb") as stream:
         restore: Optional[int] = None
-        seekable = getattr(stream, "seekable", None)
-        if seekable is not None and stream.seekable():
-            restore = stream.tell()
+        # Sockets wrapped with makefile(), raw pipes and duck-typed
+        # readers disagree on how they refuse seeking: some lack
+        # seekable(), some lack tell(), some raise OSError from tell()
+        # despite seekable() saying yes.  Probe defensively — a refusal
+        # anywhere just means "don't restore", never an AttributeError
+        # escaping a mere header peek.
+        try:
+            if stream.seekable():
+                restore = stream.tell()
+        except (AttributeError, OSError, ValueError):
+            restore = None
         try:
             return _read_header(stream)
         finally:
@@ -706,6 +889,100 @@ def cached_capture_meta(path: Union[str, Path]) -> CaptureMeta:
     return meta
 
 
+class CaptureStreamWriter:
+    """Incremental writer of an open-ended MPF2 stream (the live wire form).
+
+    Writes the open-ended header (sentinel count, flags bit 1) on
+    construction, then records in whatever increments the producer has
+    them — per board drain, per chunk — and the authoritative
+    count + CRC32 trailer on :meth:`close`.  Never seeks, so the target
+    can be a pipe, socket or FIFO, and a consumer holding the other end
+    (:func:`iter_capture_columns`) decodes records as they land.
+
+    Usable as a context manager; the trailer is written on clean exit
+    only, so an aborted producer leaves a stream the strict readers
+    refuse (and the salvager repairs) rather than one that lies.
+    """
+
+    def __init__(
+        self,
+        stream: BinaryIO,
+        *,
+        counter_width_bits: int = STOCK_WIDTH_BITS,
+        counter_rate_hz: int = STOCK_RATE_HZ,
+        overflowed: bool = False,
+        label: str = "",
+    ) -> None:
+        self._stream = stream
+        self.count = 0
+        self.crc32 = 0
+        self.closed = False
+        stream.write(
+            _encode_v2_header(
+                OPEN_COUNT,
+                counter_width_bits,
+                counter_rate_hz,
+                overflowed,
+                label,
+                0,
+                streamed=True,
+            )
+        )
+
+    def write_bytes(self, blob: Union[bytes, bytearray, memoryview]) -> int:
+        """Append pre-packed record bytes (a multiple of 5); returns count."""
+        if self.closed:
+            raise ValueError("capture stream writer is closed")
+        blob = bytes(blob)
+        if len(blob) % RECORD_BYTES:
+            raise CaptureFormatError(
+                f"record blob length {len(blob)} is not a multiple of "
+                f"{RECORD_BYTES}"
+            )
+        added = len(blob) // RECORD_BYTES
+        _check_count(self.count + added)
+        if self.count + added >= OPEN_COUNT:
+            raise ValueError(
+                f"open-ended stream cannot carry {OPEN_COUNT} records or "
+                "more: the sentinel count would be ambiguous"
+            )
+        self.crc32 = zlib.crc32(blob, self.crc32)
+        self._stream.write(blob)
+        self.count += added
+        return added
+
+    def write_records(self, records: Iterable[RawRecord]) -> int:
+        """Append *records*; returns how many were written."""
+        buffer = bytearray()
+        for record in records:
+            buffer += record.pack()
+        return self.write_bytes(buffer) if buffer else 0
+
+    def write_columns(self, columns: RecordColumns) -> int:
+        """Append a columnar batch; returns how many records were written."""
+        return self.write_bytes(columns.to_bytes()) if len(columns) else 0
+
+    def flush(self) -> None:
+        flush = getattr(self._stream, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> int:
+        """Write the end-of-stream trailer; returns the final count."""
+        if not self.closed:
+            self._stream.write(encode_stream_trailer(self.count, self.crc32))
+            self.flush()
+            self.closed = True
+        return self.count
+
+    def __enter__(self) -> "CaptureStreamWriter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.close()
+
+
 def write_capture_stream(
     path_or_file: Union[str, Path, BinaryIO],
     records: Iterable[RawRecord],
@@ -715,25 +992,61 @@ def write_capture_stream(
     counter_rate_hz: int = STOCK_RATE_HZ,
     overflowed: bool = False,
     label: str = "",
+    open_stream: Optional[bool] = None,
 ) -> int:
     """Write a capture file from a record *iterator* of unknown length.
 
     Streams records straight to the file and backpatches the header's
     record count (and, for MPF2, the CRC32) at the end, so captures far
-    larger than memory can be serialised.  The target must be seekable —
-    a non-seekable target is rejected up front, before any bytes are
-    written.  Returns the record count.
+    larger than memory can be serialised.  Returns the record count.
+
+    ``open_stream`` selects the open-ended MPF2 wire form (sentinel
+    count + end-of-stream trailer, no seeking): ``True`` forces it,
+    ``False`` forces the backpatched header, and ``None`` (the default)
+    picks it automatically when the target cannot seek — so piping an
+    MPF2 capture through stdout just works, while MPF1 (which has no
+    trailer to carry the count) still rejects non-seekable targets up
+    front, before any bytes are written.
     """
     if version not in (1, 2):
         raise ValueError(f"unknown capture format version {version}")
+    if open_stream and version == 1:
+        raise ValueError(
+            "MPF1 has no end-of-stream trailer; open-ended streams are "
+            "MPF2 only"
+        )
     if hasattr(path_or_file, "write"):
-        seekable = getattr(path_or_file, "seekable", None)
-        if seekable is None or not path_or_file.seekable():  # type: ignore[union-attr]
+        try:
+            seekable = bool(path_or_file.seekable())  # type: ignore[union-attr]
+        except (AttributeError, OSError, ValueError):
+            seekable = False
+        if open_stream is None and version == 2:
+            open_stream = not seekable
+        if not seekable and not open_stream:
             raise ValueError(
                 "write_capture_stream needs a seekable target to backpatch "
                 "the header's record count; pipe/socket targets cannot seek "
-                "— buffer to a temporary file or use write_capture_file"
+                "— pass open_stream=True for the trailer-carrying wire "
+                "form, or buffer to a temporary file"
             )
+    if open_stream:
+        with _open_context(path_or_file, "wb") as stream:
+            with CaptureStreamWriter(
+                stream,
+                counter_width_bits=counter_width_bits,
+                counter_rate_hz=counter_rate_hz,
+                overflowed=overflowed,
+                label=label,
+            ) as writer:
+                buffer = bytearray()
+                for record in records:
+                    buffer += record.pack()
+                    if len(buffer) >= DEFAULT_CHUNK_RECORDS * RECORD_BYTES:
+                        writer.write_bytes(buffer)
+                        buffer.clear()
+                if buffer:
+                    writer.write_bytes(buffer)
+            return writer.count
     with _open_context(path_or_file, "wb") as stream:
         base = stream.tell()
         if version == 1:
@@ -851,22 +1164,29 @@ def read_capture(
     with _open_context(path_or_file, "rb") as stream:
         meta = _read_header(stream)
         payload = _read_exact_to_eof(stream)
+    if meta.streamed:
+        tail = payload[-TRAILER_BYTES:] if len(payload) >= TRAILER_BYTES else payload
+        count, crc32 = decode_stream_trailer(tail)
+        payload = payload[: len(payload) - TRAILER_BYTES]
+        meta = dataclasses.replace(meta, count=count, crc32=crc32)
     if decode == "columnar":
         records = decode_record_columns(payload).to_records()
     else:
         records = load_records(payload)
     if len(records) != meta.count:
+        where = "trailer" if meta.streamed else "header"
         raise CaptureFormatError(
-            f"capture file header claims {meta.count} records but stream holds "
+            f"capture file {where} claims {meta.count} records but stream holds "
             f"{len(records)}"
         )
     if meta.crc32 is not None:
         actual = zlib.crc32(payload)
         if actual != meta.crc32:
             _TELEMETRY.count("upload.crc.failures")
+            where = "trailer" if meta.streamed else "header"
             raise CaptureFormatError(
                 f"record stream CRC32 {actual:#010x} disagrees with the "
-                f"header's {meta.crc32:#010x}: the payload is corrupt"
+                f"{where}'s {meta.crc32:#010x}: the payload is corrupt"
             )
     _TELEMETRY.count("upload.records.decoded", len(records))
     return records, meta
@@ -989,6 +1309,32 @@ def _salvage_capture_bytes(blob: bytes, *, decode: str = DEFAULT_DECODE) -> Salv
         return SalvageResult([], defects, CaptureMeta(version=version, count=0))
 
     payload = blob[data_offset:]
+    if meta.streamed:
+        # Open-ended stream: the trailer, not the header, carries the
+        # count and CRC.  A well-formed tail ends in "MPFT" + count +
+        # CRC; anything else means the producer was cut mid-stream.
+        if (
+            len(payload) >= TRAILER_BYTES
+            and payload[-TRAILER_BYTES:][: len(TRAILER_MAGIC)] == TRAILER_MAGIC
+        ):
+            count, crc32 = decode_stream_trailer(payload[-TRAILER_BYTES:])
+            payload = payload[: len(payload) - TRAILER_BYTES]
+            meta = dataclasses.replace(meta, count=count, crc32=crc32)
+        else:
+            defects.append(
+                CaptureDefect(
+                    "missing-trailer",
+                    "open-ended capture ends without an end-of-stream "
+                    "trailer: the stream was cut before the producer "
+                    "closed it",
+                    offset=data_offset + len(payload),
+                )
+            )
+            # No declared count or CRC survives; whatever whole records
+            # remain are the recovery.
+            meta = dataclasses.replace(
+                meta, count=len(payload) // RECORD_BYTES, crc32=None
+            )
     remainder = len(payload) % RECORD_BYTES
     if remainder:
         defects.append(
@@ -1122,6 +1468,7 @@ def _salvage_v2_header(
             )
         )
     label = blob[V2_FIXED_HEADER_BYTES:header_size].decode("utf-8", errors="replace")
+    streamed = bool(flags & 2)
     meta = CaptureMeta(
         version=2,
         count=count,
@@ -1129,7 +1476,8 @@ def _salvage_v2_header(
         counter_rate_hz=rate,
         overflowed=bool(flags & 1),
         label=label,
-        crc32=crc32,
+        crc32=None if streamed else crc32,
+        streamed=streamed,
     )
     return meta, header_size
 

@@ -20,6 +20,7 @@ returns.  Enable around a region of interest::
 """
 
 from repro.telemetry.core import Telemetry
+from repro.telemetry.heartbeat import DEFAULT_HEARTBEAT_S, HeartbeatFlusher
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -54,6 +55,8 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "prometheus_name",
     "ProgressReporter",
+    "HeartbeatFlusher",
+    "DEFAULT_HEARTBEAT_S",
     "Span",
     "NoopSpan",
     "NOOP_SPAN",

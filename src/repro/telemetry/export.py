@@ -178,6 +178,56 @@ def telemetry_to_chrome_trace(telemetry: Telemetry) -> Dict[str, Any]:
     }
 
 
+def chrome_complete_event(
+    name: str,
+    ts_us: float,
+    dur_us: float,
+    *,
+    pid: int = 1,
+    tid: int = 1,
+    cat: str = "function",
+    args: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One ``ph="X"`` complete event (a finished call span).
+
+    The building block incremental trace writers append one at a time —
+    the live wire track emits these as entry/exit pairs close, instead
+    of materialising a whole document the way
+    :func:`capture_to_chrome_trace` does.
+    """
+    event: Dict[str, Any] = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": ts_us,
+        "dur": dur_us,
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def chrome_counter_event(
+    name: str,
+    ts_us: float,
+    values: Dict[str, float],
+    *,
+    pid: int = 1,
+    tid: int = 0,
+) -> Dict[str, Any]:
+    """One ``ph="C"`` counter sample (a gauge track point)."""
+    return {
+        "name": name,
+        "ph": "C",
+        "ts": ts_us,
+        "pid": pid,
+        "tid": tid,
+        "args": values,
+    }
+
+
 #: pid of the dedicated interrupt track in capture traces; reconstructed
 #: processes start at pid 1 and user-mode marks sit above them.
 INTERRUPT_PID = 0

@@ -1,0 +1,99 @@
+"""Bounded-cadence telemetry flushing for long-running sessions.
+
+The exporters in :mod:`repro.telemetry.export` write one snapshot at
+exit — fine for a batch ``analyze``, useless for a live session that
+runs for hours: nothing reaches disk until the process ends, and a
+crashed consumer leaves no telemetry at all.  :class:`HeartbeatFlusher`
+fixes that for the JSON-lines format, the only exporter whose output is
+append-structured: every ``interval_s`` (measured on the **monotonic**
+clock, so a wall-clock step never fires a storm of beats or silences
+them) it appends a ``heartbeat`` marker line plus the current metric
+samples to the file.  A tailing agent sees a time series; the final
+:func:`repro.telemetry.export.write_telemetry` at clean exit still
+replaces the file with the authoritative full snapshot, spans included.
+
+The cadence check is one clock read — cheap enough to call from a hot
+batch loop — and writes happen only on the beat.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.telemetry.core import Telemetry
+
+#: Default seconds between heartbeat flushes.
+DEFAULT_HEARTBEAT_S = 5.0
+
+
+class HeartbeatFlusher:
+    """Append periodic telemetry snapshots to a jsonl file.
+
+    Call :meth:`maybe_flush` from the work loop as often as convenient;
+    it appends a beat only when ``interval_s`` has elapsed since the
+    previous one.  ``clock`` is injectable for tests and must be
+    monotonic — cadence decisions never consult wall time.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        telemetry: Telemetry,
+        *,
+        interval_s: float = DEFAULT_HEARTBEAT_S,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {interval_s}")
+        self.path = Path(path)
+        self.telemetry = telemetry
+        self.interval_s = interval_s
+        self.beats = 0
+        self._clock = clock
+        self._started = clock()
+        self._last_beat: Optional[float] = None
+        # Start from an empty file so a beat stream never appends onto a
+        # stale previous run's snapshot.
+        self.path.write_text("")
+
+    def due(self) -> bool:
+        """Whether enough monotonic time has passed for the next beat."""
+        if self._last_beat is None:
+            return True
+        return self._clock() - self._last_beat >= self.interval_s
+
+    def maybe_flush(self) -> bool:
+        """Append a beat if one is due; returns whether it flushed."""
+        if not self.due():
+            return False
+        self.flush()
+        return True
+
+    def flush(self) -> None:
+        """Append a beat unconditionally (also the clean-exit final beat)."""
+        now = self._clock()
+        snapshot = self.telemetry.snapshot()
+        lines = [
+            json.dumps(
+                {
+                    "type": "heartbeat",
+                    "seq": self.beats,
+                    "uptime_s": round(now - self._started, 6),
+                    "metrics": len(snapshot["metrics"]),
+                },
+                sort_keys=True,
+            )
+        ]
+        for metric in snapshot["metrics"]:
+            lines.append(
+                json.dumps(
+                    {"type": "metric", "seq": self.beats, **metric}, sort_keys=True
+                )
+            )
+        with self.path.open("a") as stream:
+            stream.write("\n".join(lines) + "\n")
+        self._last_beat = now
+        self.beats += 1

@@ -200,30 +200,63 @@ class TestShortReads:
         assert meta.label == "short-read"
 
 
+class _NoSeek:
+    """A pipe-shaped target: write-only, refuses to seek."""
+
+    def __init__(self):
+        self.written = b""
+
+    def write(self, blob):
+        self.written += blob
+
+    def seekable(self):
+        return False
+
+
 class TestStreamWriterGuards:
-    def test_non_seekable_target_rejected_before_any_write(self):
-        class NoSeek:
+    def test_non_seekable_target_switches_to_open_stream(self):
+        # MPF2 no longer needs a backpatch seek: a non-seekable target
+        # gets the open-ended wire form (sentinel count + trailer).
+        target = _NoSeek()
+        count = write_capture_stream(target, iter(RECORDS))
+        assert count == len(RECORDS)
+        records, meta = read_capture(io.BytesIO(target.written))
+        assert records == RECORDS
+        assert meta.streamed and meta.count == len(RECORDS)
+
+    def test_non_seekable_target_rejected_when_open_stream_refused(self):
+        target = _NoSeek()
+        with pytest.raises(ValueError, match="seekable"):
+            write_capture_stream(target, iter(RECORDS), open_stream=False)
+        assert target.written == b""  # nothing hit the wire first
+
+    def test_non_seekable_v1_target_rejected_before_any_write(self):
+        # MPF1 has no trailer to carry the count, so the old fail-fast
+        # guard still protects it.
+        target = _NoSeek()
+        with pytest.raises(ValueError, match="seekable"):
+            write_capture_stream(target, iter(RECORDS), version=1)
+        assert target.written == b""
+
+    def test_open_stream_v1_rejected(self):
+        with pytest.raises(ValueError, match="MPF2 only"):
+            write_capture_stream(
+                io.BytesIO(), iter(RECORDS), version=1, open_stream=True
+            )
+
+    def test_target_without_seekable_probe_streams_open(self):
+        class Bare:
             def __init__(self):
                 self.written = b""
 
             def write(self, blob):
                 self.written += blob
 
-            def seekable(self):
-                return False
-
-        target = NoSeek()
-        with pytest.raises(ValueError, match="seekable"):
-            write_capture_stream(target, iter(RECORDS))
-        assert target.written == b""  # nothing hit the wire first
-
-    def test_target_without_seekable_probe_rejected(self):
-        class Bare:
-            def write(self, blob):  # pragma: no cover - must not be reached
-                raise AssertionError("wrote to an unprobeable target")
-
-        with pytest.raises(ValueError, match="seekable"):
-            write_capture_stream(Bare(), iter(RECORDS))
+        target = Bare()
+        count = write_capture_stream(target, iter(RECORDS))
+        assert count == len(RECORDS)
+        records, meta = read_capture(io.BytesIO(target.written))
+        assert records == RECORDS and meta.streamed
 
     def test_count_overflow_diagnosed_not_overflowerror(self, monkeypatch):
         import repro.profiler.upload as upload

@@ -467,7 +467,9 @@ class TestReporting:
             f"P{n}" for n in (401, 402, 403, 404)
         } | {f"P{n}" for n in (501, 502, 503, 504, 505, 506)} | {
             f"P{n}" for n in (601, 602, 603, 604, 605)
-        } | {f"P{n}" for n in (701, 702, 703, 704, 705)}
+        } | {f"P{n}" for n in (701, 702, 703, 704, 705)} | {
+            f"P{n}" for n in (801, 802, 803)
+        }
 
     def test_text_format_is_compiler_style(self):
         report = lint_name_file_text("main/510\nmain/502\n", source="k.tags")
